@@ -1,0 +1,77 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one artefact of the paper — a phase-diagram
+figure (2-4, 7-14), a classification matrix (5, 6, 15, 16) or a row of
+the Section 6 performance study — prints it, and writes it under
+``benchmarks/output/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import pytest
+
+from repro import Operation, ReplicatedSystem
+from repro.viz import render_figure, render_phase_timeline
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def report(name: str, text: str) -> str:
+    """Print a reproduction block and persist it to benchmarks/output/."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+def run_single_request(
+    protocol: str,
+    operations: List[Operation],
+    replicas: int = 3,
+    seed: int = 1,
+    config: Optional[dict] = None,
+    settle: float = 300.0,
+    **system_kwargs,
+):
+    """Build a system, execute one request, let background work finish."""
+    system = ReplicatedSystem(
+        protocol, replicas=replicas, seed=seed, config=config, **system_kwargs
+    )
+    result = system.execute(operations)
+    system.settle(settle)
+    return system, result
+
+
+def figure_block(system, result, title: str, lanes=None, notes=None) -> str:
+    """Render a figure: declared descriptor + observed swim-lane timeline."""
+    lanes = lanes if lanes is not None else system.replica_names
+    descriptor = system.info.descriptor_for(len(result.operations))
+    timeline = render_phase_timeline(system.trace, result.request_id, lanes)
+    return render_figure(title, descriptor.render(), timeline, notes=notes)
+
+
+def format_rows(headers: List[str], rows: List[List[object]]) -> str:
+    """Aligned text table for performance-study outputs."""
+    table = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a scenario exactly once under pytest-benchmark timing."""
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return runner

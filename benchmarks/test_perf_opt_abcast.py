@@ -1,0 +1,113 @@
+"""Performance study — optimistic atomic broadcast ([KPAS99a]).
+
+The paper's introduction: "we have also shown how some of the overheads
+associated with group communication can be hidden behind the cost of
+executing transactions, thereby greatly enhancing performance and
+removing one of the serious limitations of group communication
+primitives."  This benchmark reproduces that result on the
+certification-based technique: transaction processing starts at
+*tentative* delivery and overlaps the ordering protocol.
+
+Reported: mean latency classic vs optimistic, per processing cost and
+network jitter (jitter breaks spontaneous order, shrinking the benefit —
+the result's own caveat).
+"""
+
+from conftest import format_rows, report
+from repro import Operation, ReplicatedSystem
+from repro.net import UniformLatency
+
+PROCESSING = [2.0, 4.0, 8.0]
+
+
+def run_one(optimistic, processing_time, jitter, seed=61, concurrent=False):
+    system = ReplicatedSystem(
+        "certification", replicas=3, clients=2, seed=seed,
+        latency=UniformLatency(0.3, 3.5) if jitter else None,
+        config={
+            "abcast": "sequencer",
+            "optimistic": optimistic,
+            "processing_time": processing_time,
+        },
+    )
+    results = []
+
+    def loop():
+        for i in range(10):
+            if concurrent:
+                # A competing client at another site submits at the same
+                # instant: the two tentative orders genuinely race and can
+                # invert relative to the final order (a real spontaneous-
+                # order violation), invalidating the speculation.
+                system.client(0).submit([Operation.update(f"other{i}", "add", 1)])
+            results.append((yield system.client(1).submit(
+                [Operation.update(f"k{i}", "add", 1)]
+            )))
+            yield system.sim.timeout(20.0)
+
+    handle = system.sim.spawn(loop())
+    system.sim.run_until_done(handle)
+    system.settle(300)
+    assert system.converged()
+    mean = sum(r.latency for r in results) / len(results)
+    match_rate = (
+        system.protocol_at("r1").abcast.match_rate if optimistic else None
+    )
+    return mean, match_rate
+
+
+def sweep():
+    table = {}
+    for processing_time in PROCESSING:
+        for scenario in ("solo", "concurrent"):
+            concurrent = scenario == "concurrent"
+            classic, _ = run_one(False, processing_time, jitter=concurrent,
+                                 concurrent=concurrent)
+            optimistic, match_rate = run_one(True, processing_time,
+                                             jitter=concurrent,
+                                             concurrent=concurrent)
+            table[(processing_time, scenario)] = (classic, optimistic, match_rate)
+    return table
+
+
+def test_perf_optimistic_abcast(once):
+    table = once(sweep)
+
+    for processing_time in PROCESSING:
+        classic, optimistic, match_rate = table[(processing_time, "solo")]
+        # On the quiet network the ordering gap (2 hops) is fully hidden.
+        assert optimistic <= classic - 1.5, (processing_time, classic, optimistic)
+        assert match_rate == 1.0
+    # Concurrent cross-site traffic under jitter breaks spontaneous order:
+    # the match rate drops and so does the benefit — but optimism must
+    # never be slower than the classic protocol by more than noise.
+    for processing_time in PROCESSING:
+        classic, optimistic, match_rate = table[(processing_time, "concurrent")]
+        assert match_rate < 1.0, "concurrency must provoke order violations"
+        assert optimistic <= classic + 0.5, (processing_time, classic, optimistic)
+
+    rows = []
+    for (processing_time, scenario), (classic, optimistic, match_rate) in sorted(table.items()):
+        rows.append([
+            f"{processing_time:g}",
+            scenario,
+            f"{classic:.2f}",
+            f"{optimistic:.2f}",
+            f"{classic - optimistic:+.2f}",
+            f"{match_rate:.2f}" if match_rate is not None else "-",
+        ])
+    report(
+        "perf_opt_abcast",
+        "Performance study: optimistic atomic broadcast (certification "
+        "technique,\nprocessing overlapped with ordering; delegate not "
+        "co-located with sequencer)\n\n"
+        + format_rows(
+            ["processing", "network", "classic lat", "optimistic lat",
+             "saved", "match rate"],
+            rows,
+        )
+        + "\n\nshape: solo traffic on a quiet network hides the full "
+        "ordering gap\n(match rate 1.0); concurrent cross-site traffic under "
+        "jitter violates\nspontaneous order, shrinking the benefit — never "
+        "below classic",
+    )

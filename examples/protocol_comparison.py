@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Run one workload under every technique and compare the trade-offs.
+
+The table this prints is the practical upshot of the whole paper: the
+same stream of update transactions costs very different amounts of
+latency, messages and aborts depending on where updates are accepted
+(primary vs everywhere) and when they are propagated (eager vs lazy) —
+and the weak-consistency techniques pay instead with lost updates.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro import DB_TECHNIQUES, DS_TECHNIQUES
+from repro.analysis import counter_check, messages_per_request
+from repro.workload import WorkloadSpec, run_workload
+
+
+def main() -> None:
+    spec = WorkloadSpec(items=8, read_fraction=0.0, ops_per_transaction=1)
+    print(
+        f"workload: {spec.items} items, all updates, "
+        "3 replicas, 2 clients x 10 transactions, seed 99\n"
+    )
+    header = (
+        f"{'technique':18s} {'mean lat':>8s} {'p95 lat':>8s} {'msgs/txn':>9s} "
+        f"{'aborts':>7s} {'converged':>10s} {'lost upd':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for name in DS_TECHNIQUES + DB_TECHNIQUES:
+        system, driver, summary = run_workload(
+            name, spec=spec, replicas=3, clients=2, requests_per_client=10,
+            seed=99, think_time=10.0, settle=500.0,
+            config={"abcast": "sequencer"},
+        )
+        msgs = messages_per_request(system.net.stats, summary.requests)
+        committed = [r for r in driver.results if r.committed]
+        stores = {n: system.store_of(n) for n in system.live_replicas()}
+        violations = counter_check(committed, stores, strict=False)
+        lost = "yes" if violations else "no"
+        print(
+            f"{name:18s} {summary.latency.mean:8.2f} {summary.latency.p95:8.2f} "
+            f"{msgs:9.1f} {summary.abort_rate:7.2f} "
+            f"{str(system.converged()):>10s} {lost:>9s}"
+        )
+
+    print(
+        "\nreading the table:\n"
+        "  - lazy techniques answer fastest but lazy_ue loses updates to\n"
+        "    reconciliation (the paper's Section 4.6 warning);\n"
+        "  - distributed locking pays the most messages (per-item lock\n"
+        "    rounds at every site plus 2PC);\n"
+        "  - certification trades latency for aborts under conflict;\n"
+        "  - every strong technique converges with no lost updates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every implemented technique with its taxonomy coordinates.
+``figures``
+    Regenerate the paper's figures from live executions (text form).
+``compare [--replicas N] [--requests N] [--seed N]``
+    Run one update workload under every technique and print the
+    trade-off table (latency, messages, aborts, convergence).
+``run TECHNIQUE [--replicas N] [--requests N] [--seed N]``
+    Drive one technique and print its summary plus phase row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import DB_TECHNIQUES, DS_TECHNIQUES, REGISTRY
+from .analysis import counter_check, messages_per_request
+from .workload import WorkloadSpec, run_workload
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'technique':18s} {'community':10s} {'phase row':24s} "
+          f"{'consistency':12s} {'figure'}")
+    print("-" * 80)
+    for name in DS_TECHNIQUES + DB_TECHNIQUES:
+        info = REGISTRY[name].info
+        row = " ".join(info.descriptor.phase_names())
+        print(f"{name:18s} {info.community:10s} {row:24s} "
+              f"{info.consistency:12s} {info.figure}")
+    return 0
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    # Reuse the example script wholesale; it already renders everything.
+    import importlib.util
+    import os
+    path = os.path.join(os.path.dirname(__file__), "..", "..", "examples",
+                        "paper_figures.py")
+    if not os.path.exists(path):
+        print("examples/paper_figures.py not found (installed without examples); "
+              "see the repository checkout", file=sys.stderr)
+        return 1
+    spec = importlib.util.spec_from_file_location("paper_figures", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return 0
+
+
+def _run_one(name: str, args: argparse.Namespace):
+    spec = WorkloadSpec(items=8, read_fraction=0.0)
+    return run_workload(
+        name, spec=spec, replicas=args.replicas, clients=2,
+        requests_per_client=args.requests, seed=args.seed,
+        think_time=10.0, settle=500.0, config={"abcast": "sequencer"},
+    )
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    print(f"{'technique':18s} {'mean lat':>9s} {'p95 lat':>9s} "
+          f"{'msgs/txn':>9s} {'aborts':>7s} {'converged':>10s} {'exact':>6s}")
+    print("-" * 75)
+    for name in DS_TECHNIQUES + DB_TECHNIQUES:
+        system, driver, summary = _run_one(name, args)
+        msgs = messages_per_request(system.net.stats, summary.requests)
+        committed = [r for r in driver.results if r.committed]
+        stores = {n: system.store_of(n) for n in system.live_replicas()}
+        exact = not counter_check(committed, stores, strict=False)
+        print(f"{name:18s} {summary.latency.mean:9.2f} {summary.latency.p95:9.2f} "
+              f"{msgs:9.1f} {summary.abort_rate:7.2f} "
+              f"{str(system.converged()):>10s} {'yes' if exact else 'NO':>6s}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.technique not in REGISTRY:
+        print(f"unknown technique {args.technique!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    system, driver, summary = _run_one(args.technique, args)
+    info = system.info
+    print(f"technique    : {info.title} ({info.figure})")
+    print(f"phase row    : {' '.join(info.descriptor.phase_names())} "
+          f"[{info.consistency} consistency]")
+    print(f"requests     : {summary.requests} "
+          f"({summary.committed} committed, {summary.aborted} aborted)")
+    print(f"latency      : mean {summary.latency.mean:.2f}, "
+          f"p95 {summary.latency.p95:.2f}")
+    print(f"messages/txn : "
+          f"{messages_per_request(system.net.stats, summary.requests):.1f}")
+    print(f"converged    : {system.converged()}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Executable reproduction of 'Understanding Replication in "
+                    "Databases and Distributed Systems' (ICDCS 2000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list implemented techniques")
+    sub.add_parser("figures", help="render the paper's figures from live runs")
+    for command in ("compare", "run"):
+        sp = sub.add_parser(command)
+        if command == "run":
+            sp.add_argument("technique")
+        sp.add_argument("--replicas", type=int, default=3)
+        sp.add_argument("--requests", type=int, default=10)
+        sp.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    return {"list": cmd_list, "figures": cmd_figures,
+            "compare": cmd_compare, "run": cmd_run}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

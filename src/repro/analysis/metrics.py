@@ -1,0 +1,120 @@
+"""Workload metrics: latency, throughput, aborts, message overhead.
+
+The Section 6 performance-study benchmarks report their numbers through
+these helpers so every experiment prints comparable rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..core.operations import Result
+from ..net import NetworkStats
+
+__all__ = ["LatencyStats", "WorkloadSummary", "summarize", "messages_per_request"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Distribution summary of a set of latencies."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    @staticmethod
+    def of(values: Iterable[float]) -> "LatencyStats":
+        data = sorted(values)
+        if not data:
+            return LatencyStats(0, 0.0, 0.0, 0.0, 0.0)
+
+        def percentile(q: float) -> float:
+            index = min(len(data) - 1, max(0, math.ceil(q * len(data)) - 1))
+            return data[index]
+
+        return LatencyStats(
+            count=len(data),
+            mean=sum(data) / len(data),
+            p50=percentile(0.50),
+            p95=percentile(0.95),
+            maximum=data[-1],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<LatencyStats n={self.count} mean={self.mean:.2f} "
+            f"p50={self.p50:.2f} p95={self.p95:.2f} max={self.maximum:.2f}>"
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """Everything a benchmark row needs about one run."""
+
+    requests: int
+    committed: int
+    aborted: int
+    latency: LatencyStats
+    duration: float
+    retries: int
+
+    @property
+    def abort_rate(self) -> float:
+        return self.aborted / self.requests if self.requests else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Committed requests per time unit."""
+        return self.committed / self.duration if self.duration > 0 else 0.0
+
+    def row(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "committed": self.committed,
+            "abort_rate": round(self.abort_rate, 4),
+            "mean_latency": round(self.latency.mean, 3),
+            "p95_latency": round(self.latency.p95, 3),
+            "throughput": round(self.throughput, 4),
+            "retries": self.retries,
+        }
+
+
+def summarize(results: Iterable[Result], duration: Optional[float] = None) -> WorkloadSummary:
+    """Aggregate a list of client results into a summary."""
+    results = list(results)
+    committed = [r for r in results if r.committed]
+    if duration is None:
+        duration = (
+            max((r.completed_at for r in results), default=0.0)
+            - min((r.submitted_at for r in results), default=0.0)
+        )
+    return WorkloadSummary(
+        requests=len(results),
+        committed=len(committed),
+        aborted=len(results) - len(committed),
+        latency=LatencyStats.of(r.latency for r in committed),
+        duration=duration,
+        retries=sum(r.retries for r in results),
+    )
+
+
+def messages_per_request(stats: NetworkStats, requests: int,
+                         exclude_prefixes: Iterable[str] = ("fd.",)) -> float:
+    """Protocol messages sent per client request.
+
+    Failure-detector heartbeats are excluded by default: they are constant
+    background cost, not per-request overhead, and would swamp the
+    comparison the paper's message-cost discussion is about.
+    """
+    if requests <= 0:
+        return 0.0
+    excluded = sum(
+        count
+        for mtype, count in stats.by_type.items()
+        if any(mtype.startswith(prefix) for prefix in exclude_prefixes)
+    )
+    return (stats.sent - excluded) / requests

@@ -1,0 +1,175 @@
+"""One-copy serializability oracles.
+
+Section 2.2: "database protocols use serializability adapted to replicated
+scenarios: one-copy serializability".  Two complementary oracles:
+
+* :func:`counter_check` — for increment workloads ("add" updates), the
+  final replicated value must equal the sum of the committed increments.
+  Lost updates (lazy update everywhere's reconciliation casualties),
+  double-application and phantom commits all violate it.  Simple, but it
+  is a complete atomicity check for this workload class.
+* :func:`serialization_graph` / :func:`check_one_copy_serializable` — a
+  reads-from graph built purely from client observations.  It requires
+  the *traceable workload* convention used by the test suites: every
+  write installs a globally unique value, so a read (or an ``add``
+  update's inferred pre-value) identifies exactly which transaction it
+  read from.  Transactions then form read-from edges; a cycle means the
+  execution is not equivalent to any serial one-copy history.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.operations import Result
+from ..errors import ConsistencyViolation
+
+__all__ = [
+    "counter_check",
+    "expected_counters",
+    "serialization_graph",
+    "check_one_copy_serializable",
+]
+
+
+def expected_counters(results: Iterable[Result]) -> Dict[str, Any]:
+    """Final value per item implied by the committed ``add`` updates."""
+    totals: Dict[str, Any] = {}
+    for result in results:
+        if not result.committed:
+            continue
+        for op in result.operations:
+            if op.kind == "update" and op.func == "add":
+                totals[op.item] = totals.get(op.item, 0) + op.argument
+            elif op.is_write:
+                raise ValueError(
+                    "counter_check only handles pure add-update workloads; "
+                    f"saw {op.kind}/{op.func} on {op.item}"
+                )
+    return totals
+
+
+def counter_check(
+    results: Iterable[Result], stores: Dict[str, Any], strict: bool = True
+) -> List[str]:
+    """Compare committed-increment sums against every replica's state.
+
+    ``stores`` maps replica name to its :class:`~repro.db.DataStore`.
+    Returns a list of violation descriptions (empty = consistent).  With
+    ``strict`` raises :class:`ConsistencyViolation` instead of returning
+    a non-empty list.
+    """
+    totals = expected_counters(results)
+    violations = []
+    for replica, store in stores.items():
+        for item, expected in totals.items():
+            actual = store.read(item) or 0
+            if actual != expected:
+                violations.append(
+                    f"{replica}: item {item!r} = {actual}, expected {expected}"
+                )
+    if violations and strict:
+        raise ConsistencyViolation("; ".join(violations))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Reads-from serialization graph
+# ---------------------------------------------------------------------------
+
+def _observations(result: Result) -> Tuple[List[Tuple[str, Any]], List[Tuple[str, Any]]]:
+    """(reads, writes) as (item, value) pairs derived from one result.
+
+    ``add`` updates expose their pre-value as ``output - argument``, which
+    lets the oracle chain increments without instrumenting servers.
+    """
+    reads: List[Tuple[str, Any]] = []
+    writes: List[Tuple[str, Any]] = []
+    for op, output in zip(result.operations, result.values):
+        if op.kind == "read":
+            reads.append((op.item, output))
+        elif op.kind == "write":
+            writes.append((op.item, op.argument))
+        elif op.func == "add":
+            pre = (output - op.argument) if output is not None else None
+            if pre != 0:  # pre == 0 means it read the initial state
+                reads.append((op.item, pre))
+            writes.append((op.item, output))
+        elif op.func == "set":
+            writes.append((op.item, op.argument))
+        else:
+            writes.append((op.item, output))
+    return reads, writes
+
+
+def serialization_graph(results: Iterable[Result]) -> Dict[str, Set[str]]:
+    """Reads-from edges between committed transactions.
+
+    Edge ``a -> b`` means transaction *b* read a value written by *a*
+    (so *a* must precede *b* in any equivalent serial history).  Requires
+    unique written values; duplicate values raise ``ValueError``.
+    """
+    committed = [r for r in results if r.committed]
+    writer_of: Dict[Tuple[str, Any], str] = {}
+    for result in committed:
+        _reads, writes = _observations(result)
+        for item, value in writes:
+            key = (item, value)
+            if key in writer_of and writer_of[key] != result.request_id:
+                raise ValueError(
+                    f"value {value!r} for item {item!r} written by two "
+                    "transactions; the graph oracle needs unique writes"
+                )
+            writer_of[key] = result.request_id
+    graph: Dict[str, Set[str]] = {r.request_id: set() for r in committed}
+    for result in committed:
+        reads, _writes = _observations(result)
+        for item, value in reads:
+            if value is None:
+                continue
+            writer = writer_of.get((item, value))
+            if writer is not None and writer != result.request_id:
+                graph[writer].add(result.request_id)
+    return graph
+
+
+def _find_cycle(graph: Dict[str, Set[str]]) -> Optional[List[str]]:
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in graph}
+    stack: List[str] = []
+
+    def dfs(node: str) -> Optional[List[str]]:
+        colour[node] = GREY
+        stack.append(node)
+        for successor in graph.get(node, ()):
+            if colour.get(successor, WHITE) == GREY:
+                return stack[stack.index(successor):] + [successor]
+            if colour.get(successor, WHITE) == WHITE:
+                cycle = dfs(successor)
+                if cycle is not None:
+                    return cycle
+        stack.pop()
+        colour[node] = BLACK
+        return None
+
+    for node in graph:
+        if colour[node] == WHITE:
+            cycle = dfs(node)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def check_one_copy_serializable(
+    results: Iterable[Result], strict: bool = True
+) -> Optional[List[str]]:
+    """Assert the reads-from graph of committed transactions is acyclic.
+
+    Returns None when serializable; otherwise the offending cycle (or
+    raises :class:`ConsistencyViolation` when ``strict``).
+    """
+    graph = serialization_graph(results)
+    cycle = _find_cycle(graph)
+    if cycle is not None and strict:
+        raise ConsistencyViolation(f"serialization cycle: {' -> '.join(cycle)}")
+    return cycle

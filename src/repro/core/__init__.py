@@ -1,0 +1,28 @@
+"""The paper's contribution: the five-phase functional model, the
+replication technique suite, and the derived classifications."""
+
+from .operations import Operation, Request, Result
+from .phases import AC, END, EX, RE, SC, PhaseDescriptor, PhaseStep, PhaseTracer
+from .protocols import DB_TECHNIQUES, DS_TECHNIQUES, REGISTRY
+from .system import ClientNode, Directory, ReplicaNode, ReplicatedSystem
+
+__all__ = [
+    "Operation",
+    "Request",
+    "Result",
+    "RE",
+    "SC",
+    "EX",
+    "AC",
+    "END",
+    "PhaseStep",
+    "PhaseDescriptor",
+    "PhaseTracer",
+    "REGISTRY",
+    "DS_TECHNIQUES",
+    "DB_TECHNIQUES",
+    "ReplicatedSystem",
+    "ReplicaNode",
+    "ClientNode",
+    "Directory",
+]

@@ -1,0 +1,55 @@
+"""The paper's replication techniques, one module each.
+
+``REGISTRY`` maps technique names to protocol classes; it is the lookup
+table behind :class:`~repro.core.system.ReplicatedSystem` and the
+classification figures.
+"""
+
+from .active import ActiveReplication
+from .base import ProtocolInfo, ReplicaProtocol
+from .certification import CertificationReplication
+from .eager_primary import EagerPrimaryCopy
+from .eager_ue_abcast import EagerUpdateEverywhereAbcast
+from .eager_ue_locking import EagerUpdateEverywhereLocking
+from .lazy_primary import LazyPrimaryCopy
+from .lazy_ue import LazyUpdateEverywhere
+from .passive import PassiveReplication
+from .semi_active import SemiActiveReplication
+from .semi_passive import SemiPassiveReplication
+
+REGISTRY = {
+    cls.info.name: cls
+    for cls in (
+        ActiveReplication,
+        PassiveReplication,
+        SemiActiveReplication,
+        SemiPassiveReplication,
+        EagerPrimaryCopy,
+        EagerUpdateEverywhereLocking,
+        EagerUpdateEverywhereAbcast,
+        LazyPrimaryCopy,
+        LazyUpdateEverywhere,
+        CertificationReplication,
+    )
+}
+
+DS_TECHNIQUES = [name for name, cls in REGISTRY.items() if cls.info.community == "ds"]
+DB_TECHNIQUES = [name for name, cls in REGISTRY.items() if cls.info.community == "db"]
+
+__all__ = [
+    "REGISTRY",
+    "DS_TECHNIQUES",
+    "DB_TECHNIQUES",
+    "ProtocolInfo",
+    "ReplicaProtocol",
+    "ActiveReplication",
+    "PassiveReplication",
+    "SemiActiveReplication",
+    "SemiPassiveReplication",
+    "EagerPrimaryCopy",
+    "EagerUpdateEverywhereLocking",
+    "EagerUpdateEverywhereAbcast",
+    "LazyPrimaryCopy",
+    "LazyUpdateEverywhere",
+    "CertificationReplication",
+]

@@ -1,0 +1,392 @@
+"""Eager primary copy replication (Section 4.3 / Figure 7; Section 5.2 /
+Figure 12 for multi-operation transactions).
+
+The database hot-standby scheme: "an update operation is first performed
+at a primary master copy and then propagated from this master copy to the
+secondary copies.  When the primary has the confirmation that the
+secondary copies have performed the update, it commits and returns a
+notification to the user."
+
+Mechanics:
+
+* Clients send update transactions to the primary (reads may go to any
+  site — "Reading transactions can be performed on any site", served
+  locally by every replica).
+* **No Server Coordination phase** — the primary orders everything.
+* EX at the primary through its strict-2PL transaction manager;
+  after each operation the resulting after-images are propagated to the
+  secondaries which buffer them in a per-transaction workspace (the
+  Execution/Agreement loop of Figure 12 — for single-operation
+  transactions this collapses to Figure 7's single round).
+* Final AC: a **two-phase commit**.  Secondaries vote, and on commit
+  install the buffered workspace atomically.  Per Section 4.3, 2PC rather
+  than VSCAST suffices because a primary failure simply aborts all its
+  active transactions.
+* END strictly after 2PC — this is the *eager* variant; the response
+  never precedes agreement.
+
+Failover: the replicas' failure detectors watch the primary; when it is
+suspected, the lowest live secondary appoints itself (modelling the
+paper's "human operator can reconfigure the system so that the back-up is
+the new primary"), updates the directory, resolves in-doubt 2PC
+transactions cooperatively (commit if any peer saw commit, else abort) and
+takes over.  Clients notice the failure (timeout) and re-submit — database
+failover is explicitly *not* transparent.
+
+``config`` options: none.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ...db import TwoPhaseCoordinator, TwoPhaseParticipant
+from ...errors import TransactionAborted
+from ...net import Message
+from ..operations import Operation, Request, apply_update
+from ..phases import AC, END, EX, RE, PhaseDescriptor, PhaseStep
+from ..sessions import ABORT as S_ABORT, BEGIN as S_BEGIN, COMMIT as S_COMMIT, OP as S_OP
+from .base import ProtocolInfo, ReplicaProtocol
+
+__all__ = ["EagerPrimaryCopy"]
+
+OP_APPLY = "ep.op_apply"
+QUERY_INDOUBT = "ep.indoubt_query"
+SYNC = "ep.sync"
+SYNC_PUSH = "ep.sync_push"
+
+
+class EagerPrimaryCopy(ReplicaProtocol):
+    """Per-replica endpoint of eager primary copy (hot standby)."""
+
+    info = ProtocolInfo(
+        name="eager_primary",
+        title="Eager primary copy",
+        figure="Figure 7 / Figure 12",
+        community="db",
+        descriptor=PhaseDescriptor(
+            technique="eager_primary",
+            steps=(
+                PhaseStep(RE),
+                PhaseStep(EX),
+                PhaseStep(AC, "2pc"),
+                PhaseStep(END),
+            ),
+        ),
+        txn_descriptor=PhaseDescriptor(
+            technique="eager_primary",
+            steps=(
+                PhaseStep(RE),
+                PhaseStep(EX),
+                PhaseStep(AC, "propagation"),
+                PhaseStep(AC, "2pc"),
+                PhaseStep(END),
+            ),
+            loop=(1, 2),
+        ),
+        consistency="strong",
+        client_policy="primary",
+        propagation="eager",
+        update_location="primary",
+        failure_transparent=False,
+        requires_determinism=False,
+        supports_multi_op=True,
+        reads_anywhere=True,
+        supports_sessions=True,
+    )
+
+    def __init__(self, replica, group, config) -> None:
+        super().__init__(replica, group, config)
+        self.coordinator = TwoPhaseCoordinator(replica.node, trace=replica.system.trace)
+        self.participant = TwoPhaseParticipant(
+            replica.node, self._on_prepare, self._on_decision
+        )
+        self._workspaces: Dict[str, List[tuple]] = {}
+        self._decided: Dict[str, bool] = {}
+        replica.node.on(OP_APPLY, self._on_op_apply)
+        replica.node.on(QUERY_INDOUBT, self._on_indoubt_query)
+        replica.node.on(SYNC, self._on_sync_request)
+        replica.node.on(SYNC_PUSH, self._on_sync_push)
+        replica.node.on(S_BEGIN, self._on_session_begin)
+        replica.node.on(S_OP, self._on_session_op)
+        replica.node.on(S_COMMIT, self._on_session_commit)
+        replica.node.on(S_ABORT, self._on_session_abort)
+        self._sessions: Dict[str, dict] = {}
+        replica.detector.on_suspect(self._on_suspect)
+        replica.detector.on_restore(self._on_peer_restored)
+
+    # -- role ------------------------------------------------------------
+
+    @property
+    def is_primary(self) -> bool:
+        return self.replica.system.directory.primary == self.replica.name
+
+    def _live_peers(self) -> List[str]:
+        return [
+            name for name in self.peers()
+            if not self.replica.detector.is_suspected(name)
+        ]
+
+    # -- request path ---------------------------------------------------------
+
+    def handle_request(self, request: Request, client: str) -> None:
+        if request.read_only:
+            # Reads are local at any site (possibly returning data that is
+            # current as of the last installed update).
+            self.phase(request.request_id, EX)
+            values = [self.store.read(op.item) for op in request.operations]
+            self.respond(client, request, committed=True, values=values)
+            return
+        if not self.is_primary:
+            self.respond(
+                client, request, committed=False,
+                reason=f"not primary (primary is {self.replica.system.directory.primary})",
+            )
+            return
+        self.replica.node.spawn(
+            self._execute(request, client), name=f"ep-{request.request_id}"
+        )
+
+    def _execute(self, request: Request, client: str):
+        rid = request.request_id
+        txn = self.tm.begin(f"{rid}@primary")
+        values: List[Any] = []
+        secondaries = self._live_peers()
+        try:
+            for op in request.operations:
+                self.phase(rid, EX)
+                if op.kind == "read":
+                    values.append((yield txn.read(op.item)))
+                    continue
+                if op.kind == "write":
+                    new_value = op.argument
+                else:
+                    current = yield txn.read(op.item)
+                    new_value = apply_update(op.func, current, op.argument, self.rng)
+                yield txn.write(op.item, new_value)
+                values.append(None if op.kind == "write" else new_value)
+                # Per-operation change propagation (Figure 12's EX/AC loop).
+                self.phase(rid, AC, "propagation")
+                for secondary in secondaries:
+                    self.replica.node.send(
+                        secondary, OP_APPLY, txn=rid, item=op.item, value=new_value
+                    )
+        except TransactionAborted as exc:
+            txn.abort()
+            for secondary in secondaries:
+                self.replica.node.send(secondary, "2pc.decision", txn=rid, commit=False)
+            self.respond(client, request, committed=False, reason=str(exc))
+            return
+        # Final Agreement Coordination: two-phase commit.
+        self.phase(rid, AC, "2pc")
+        committed = yield self.coordinator.run(rid, secondaries, local_vote=True)
+        if committed:
+            txn.commit()
+            self._decided[rid] = True
+            self.respond(client, request, committed=True, values=values)
+        else:
+            txn.abort()
+            self._decided[rid] = False
+            self.respond(client, request, committed=False, reason="2pc abort")
+
+    # -- interactive sessions (Section 5) --------------------------------------------
+
+    def _on_session_begin(self, message: Message) -> None:
+        sid = message["session"]
+        if not self.is_primary:
+            self.replica.node.reply(
+                message, ok=False,
+                reason=f"not primary (primary is {self.replica.system.directory.primary})",
+            )
+            return
+        txn = self.tm.begin(f"{sid}@primary")
+        self._sessions[sid] = {
+            "txn": txn,
+            "secondaries": self._live_peers(),
+        }
+        self.phase(sid, RE)
+        self.replica.node.reply(message, ok=True, reason="")
+
+    def _on_session_op(self, message: Message) -> None:
+        self.replica.node.spawn(
+            self._session_op(message), name=f"ep-sess-op-{message['session']}"
+        )
+
+    def _session_op(self, message: Message):
+        sid = message["session"]
+        state = self._sessions.get(sid)
+        if state is None:
+            self.replica.node.reply(message, ok=False, reason="no such session",
+                                    value=None)
+            return
+        txn = state["txn"]
+        op = Operation(message["kind"], message["item"],
+                       argument=message["argument"], func=message["func"])
+        try:
+            self.phase(sid, EX)
+            if op.kind == "read":
+                value = yield txn.read(op.item)
+            else:
+                if op.kind == "write":
+                    value = op.argument
+                else:
+                    current = yield txn.read(op.item)
+                    value = apply_update(op.func, current, op.argument, self.rng)
+                yield txn.write(op.item, value)
+                # Per-operation change propagation, exactly as in the
+                # one-shot multi-operation path (Figure 12's EX/AC loop).
+                self.phase(sid, AC, "propagation")
+                for secondary in state["secondaries"]:
+                    self.replica.node.send(
+                        secondary, OP_APPLY, txn=sid, item=op.item, value=value
+                    )
+        except TransactionAborted as exc:
+            self._session_cleanup(sid, commit=False)
+            self.replica.node.reply(message, ok=False, reason=str(exc), value=None)
+            return
+        self.replica.node.reply(message, ok=True, reason="",
+                                value=None if op.kind == "write" else value)
+
+    def _on_session_commit(self, message: Message) -> None:
+        self.replica.node.spawn(
+            self._session_commit(message), name=f"ep-sess-commit-{message['session']}"
+        )
+
+    def _session_commit(self, message: Message):
+        sid = message["session"]
+        state = self._sessions.get(sid)
+        if state is None:
+            self.replica.node.reply(message, committed=False)
+            return
+        self.phase(sid, AC, "2pc")
+        committed = yield self.coordinator.run(sid, state["secondaries"],
+                                               local_vote=True)
+        self._session_cleanup(sid, commit=committed)
+        self.phase(sid, END)
+        self.replica.node.reply(message, committed=committed)
+
+    def _on_session_abort(self, message: Message) -> None:
+        self._session_cleanup(message["session"], commit=False)
+        self.replica.node.reply(message, ok=True)
+
+    def _session_cleanup(self, sid: str, commit: bool) -> None:
+        state = self._sessions.pop(sid, None)
+        if state is None:
+            return
+        if commit:
+            state["txn"].commit()
+        else:
+            state["txn"].abort()
+            for secondary in state["secondaries"]:
+                self.replica.node.send(secondary, "2pc.decision",
+                                       txn=sid, commit=False)
+        self._decided[sid] = commit
+
+    # -- secondary side -----------------------------------------------------------
+
+    def _on_op_apply(self, message: Message) -> None:
+        self._workspaces.setdefault(message["txn"], []).append(
+            (message["item"], message["value"])
+        )
+
+    def _on_prepare(self, txn_id: str) -> bool:
+        # A secondary can vote yes iff it holds the transaction workspace.
+        return txn_id in self._workspaces
+
+    def _on_decision(self, txn_id: str, commit: bool) -> None:
+        self._decided[txn_id] = commit
+        workspace = self._workspaces.pop(txn_id, None)
+        if commit and workspace:
+            self.phase(txn_id, AC, "2pc")
+            for item, value in workspace:
+                self.store.write(item, value)
+
+    # -- failover ---------------------------------------------------------------------
+
+    def _on_suspect(self, peer: str) -> None:
+        directory = self.replica.system.directory
+        if peer != directory.primary:
+            return
+        live = [
+            name for name in self.group
+            if name == self.replica.name or not self.replica.detector.is_suspected(name)
+        ]
+        if live and live[0] == self.replica.name:
+            directory.set_primary(self.replica.name)
+        self.replica.node.spawn(self._terminate_in_doubt(), name="ep-termination")
+
+    def _terminate_in_doubt(self):
+        """Cooperative termination for transactions stranded by the crash."""
+        for txn_id in list(self.participant.in_doubt):
+            commit = False
+            for peer in self._live_peers():
+                try:
+                    reply = yield self.replica.node.call(
+                        peer, QUERY_INDOUBT, timeout=30.0, txn=txn_id
+                    )
+                except Exception:  # noqa: BLE001 - peer down; try the next one
+                    continue
+                if reply["known"]:
+                    commit = reply["commit"]
+                    break
+            self.participant.in_doubt.pop(txn_id, None)
+            self._on_decision(txn_id, commit)
+
+    def _on_indoubt_query(self, message: Message) -> None:
+        txn_id = message["txn"]
+        known = txn_id in self._decided
+        self.replica.node.reply(
+            message, known=known, commit=self._decided.get(txn_id, False)
+        )
+
+    # -- recovery -----------------------------------------------------------------
+
+    def on_recover(self) -> None:
+        """Catch up with the current primary after a restart.
+
+        The recovering node kept its durable store but missed every
+        transaction committed while it was down (and any in-flight
+        workspace died with its volatile state).  It pulls the current
+        primary's state and installs everything newer than its own copies
+        — the hot-standby resynchronisation step that precedes rejoining
+        the 2PC participant set.
+        """
+        self._workspaces.clear()
+        self.replica.node.spawn(self._resync(), name=f"{self.replica.name}-resync")
+
+    def _resync(self):
+        directory = self.replica.system.directory
+        if directory.primary == self.replica.name:
+            return  # nothing newer exists anywhere
+        try:
+            reply = yield self.replica.node.call(
+                directory.primary, SYNC, timeout=60.0
+            )
+        except Exception:  # noqa: BLE001 - primary unreachable; stay stale
+            return
+        for item, value, version in reply["state"]:
+            self.store.write_versioned(item, value, version)
+
+    def _on_sync_request(self, message: Message) -> None:
+        self.replica.node.reply(message, state=self._state_wire())
+
+    def _on_peer_restored(self, peer: str) -> None:
+        """Primary-side rejoin: push state when a suspected peer proves alive.
+
+        Closes the race the pull-at-recovery path leaves open: any commit
+        performed while the peer was excluded from the participant set
+        happened before this restore event, so the pushed state contains
+        it; later commits include the peer in the 2PC again.
+        """
+        if self.is_primary:
+            self.replica.node.send(peer, SYNC_PUSH, state=self._state_wire())
+
+    def _on_sync_push(self, message: Message) -> None:
+        for item, value, version in message["state"]:
+            self.store.write_versioned(item, value, version)
+
+    def _state_wire(self) -> list:
+        return [
+            [item, versioned.value, versioned.version]
+            for item, versioned in self.store.items()
+        ]

@@ -1,0 +1,420 @@
+"""Eager update everywhere with distributed locking (Section 4.4.1 /
+Figure 8; Section 5.4.1 / Figure 13 for multi-operation transactions).
+
+"When using distributed locking, a replica can only be accessed after it
+has been locked at all sites" — the Server Coordination phase *is* the
+distributed lock acquisition, the Agreement Coordination phase is a 2PC.
+
+Mechanics:
+
+* The client submits to its local replica (the *delegate*), which drives
+  the whole protocol — clients never talk to more than one server
+  (Section 4.1).
+* Per operation (the SC/EX loop of Figure 13):
+  - writes: the delegate requests a write lock at **every** replica
+    (read-one/write-all; Section 5.4.1 notes quorums are orthogonal) and
+    waits for all grants (SC).  It then computes the after-image locally
+    and ships it; every site buffers it in the transaction's workspace
+    (EX at all sites).
+  - reads: performed locally under a local read lock (ROWA — "read
+    operations are local").
+* Final AC: 2PC across all replicas; commit installs every site's
+  workspace and releases its locks.
+* END strictly after the 2PC.
+
+Distributed deadlocks — two delegates locking the same items from
+different sites — are invisible to any single site's wait-for graph; they
+are broken by **lock-wait timeouts** (each remote lock request carries
+one), aborting the younger transaction system-wide.  The abort-rate
+benchmark measures how quickly this degrades under contention compared
+with certification.
+
+``config`` options:
+
+* ``lock_timeout`` — remote lock wait bound (default 40 time units).
+* ``write_quorum`` — number of sites locked/written per update (default:
+  all live sites, i.e. read-one/write-all).  Section 5.4.1: "The use of
+  quorums is orthogonal to this discussion.  Quorums only determine how
+  many sites and which of them need to be contacted" — setting a quorum
+  W with 2W > n keeps the exact same phase structure while writes touch
+  only W sites; reads then contact R = n - W + 1 sites and take the
+  highest-versioned copy (Gifford-style weighted voting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ...db import READ, WRITE, TwoPhaseCoordinator, TwoPhaseParticipant
+from ...errors import NodeCrashed, TransactionAborted
+from ...net import Message
+from ..operations import Operation, Request, apply_update
+from ..phases import AC, END, EX, RE, SC, PhaseDescriptor, PhaseStep
+from ..sessions import ABORT as S_ABORT, BEGIN as S_BEGIN, COMMIT as S_COMMIT, OP as S_OP
+from .base import ProtocolInfo, ReplicaProtocol
+
+__all__ = ["EagerUpdateEverywhereLocking"]
+
+LOCK = "ueld.lock"
+BUFFER = "ueld.buffer"
+
+
+class EagerUpdateEverywhereLocking(ReplicaProtocol):
+    """Per-replica endpoint of eager update everywhere via 2PL + 2PC."""
+
+    info = ProtocolInfo(
+        name="eager_ue_locking",
+        title="Eager update everywhere, distributed locking",
+        figure="Figure 8 / Figure 13",
+        community="db",
+        descriptor=PhaseDescriptor(
+            technique="eager_ue_locking",
+            steps=(
+                PhaseStep(RE),
+                PhaseStep(SC, "locks"),
+                PhaseStep(EX),
+                PhaseStep(AC, "2pc"),
+                PhaseStep(END),
+            ),
+        ),
+        txn_descriptor=PhaseDescriptor(
+            technique="eager_ue_locking",
+            steps=(
+                PhaseStep(RE),
+                PhaseStep(SC, "locks"),
+                PhaseStep(EX),
+                PhaseStep(AC, "2pc"),
+                PhaseStep(END),
+            ),
+            loop=(1, 2),
+        ),
+        consistency="strong",
+        client_policy="local",
+        propagation="eager",
+        update_location="everywhere",
+        failure_transparent=False,
+        requires_determinism=False,
+        supports_multi_op=True,
+        supports_sessions=True,
+    )
+
+    def __init__(self, replica, group, config) -> None:
+        super().__init__(replica, group, config)
+        self.lock_timeout = float(config.get("lock_timeout", 40.0))
+        self.write_quorum = config.get("write_quorum")
+        if self.write_quorum is not None:
+            if not len(group) // 2 < self.write_quorum <= len(group):
+                raise ValueError(
+                    f"write_quorum must be in ({len(group) // 2}, {len(group)}]"
+                )
+        self.coordinator = TwoPhaseCoordinator(replica.node, trace=replica.system.trace)
+        self.participant = TwoPhaseParticipant(
+            replica.node, self._on_prepare, self._on_decision
+        )
+        self._workspaces: Dict[str, List[tuple]] = {}
+        replica.node.on(LOCK, self._on_lock_request)
+        replica.node.on(BUFFER, self._on_buffer)
+        replica.node.on(S_BEGIN, self._on_session_begin)
+        replica.node.on(S_OP, self._on_session_op)
+        replica.node.on(S_COMMIT, self._on_session_commit)
+        replica.node.on(S_ABORT, self._on_session_abort)
+        self._sessions: Dict[str, dict] = {}
+
+    # -- delegate side ------------------------------------------------------
+
+    def handle_request(self, request: Request, client: str) -> None:
+        if request.read_only:
+            self.replica.node.spawn(
+                self._execute_read_only(request, client),
+                name=f"ueld-ro-{request.request_id}",
+            )
+            return
+        self.replica.node.spawn(
+            self._execute(request, client), name=f"ueld-{request.request_id}"
+        )
+
+    def _execute_read_only(self, request: Request, client: str):
+        """Reads: local under ROWA, quorum reads under weighted voting."""
+        rid = request.request_id
+        txn_id = f"{rid}@{self.replica.name}"
+        self.phase(rid, EX)
+        values = []
+        try:
+            for op in request.operations:
+                if self.write_quorum is None:
+                    yield self.tm.locks.acquire(
+                        txn_id, op.item, READ, timeout=self.lock_timeout
+                    )
+                    values.append(self.store.read(op.item))
+                else:
+                    _version, value = yield from self._quorum_read(txn_id, op.item)
+                    values.append(value)
+        except (TransactionAborted, TimeoutError, NodeCrashed) as exc:
+            self._release_everywhere(txn_id)
+            self.respond(client, request, committed=False, reason=str(exc))
+            return
+        self._release_everywhere(txn_id)
+        self.respond(client, request, committed=True, values=values)
+
+    def _quorum_sites(self, count: int) -> List[str]:
+        """``count`` sites starting at this replica, skipping suspected ones."""
+        ring = self.group[self.group.index(self.replica.name):] + \
+            self.group[:self.group.index(self.replica.name)]
+        live = [n for n in ring if n == self.replica.name
+                or not self.replica.detector.is_suspected(n)]
+        if len(live) < count:
+            raise TransactionAborted(self.replica.name, "quorum unreachable")
+        return live[:count]
+
+    def _quorum_read(self, txn_id: str, item: str):
+        """Read-lock R sites; return the highest-versioned (version, value)."""
+        read_quorum = len(self.group) - (self.write_quorum or len(self.group)) + 1
+        sites = self._quorum_sites(read_quorum)
+        grants = [
+            self.replica.node.call(
+                site, LOCK, timeout=self.lock_timeout + 20.0,
+                txn=txn_id, item=item, mode=READ, lock_timeout=self.lock_timeout,
+            )
+            for site in sites
+        ]
+        replies = yield self.sim.all_of(grants)
+        if not all(reply["granted"] for reply in replies):
+            raise TransactionAborted(txn_id, "read quorum denied")
+        best = max(replies, key=lambda r: (r["version"], r["site"]))
+        return best["version"], best["value"]
+
+    def _execute(self, request: Request, client: str):
+        rid = request.request_id
+        txn_id = f"{rid}@{self.replica.name}"
+        n_live = len([n for n in self.group
+                      if not self.replica.detector.is_suspected(n)])
+        quorum_size = self.write_quorum if self.write_quorum is not None else n_live
+        values: List[Any] = []
+        touched: List[str] = [self.replica.name]
+        try:
+            quorum = self._quorum_sites(quorum_size)
+            touched = list(quorum)
+            for op in request.operations:
+                values.append(
+                    (yield from self._perform_operation(rid, txn_id, op, quorum))
+                )
+        except (TransactionAborted, TimeoutError, NodeCrashed) as exc:
+            yield from self._abort_everywhere(txn_id, touched)
+            self.respond(client, request, committed=False, reason=str(exc))
+            return
+        # AC: two-phase commit across the quorum (this site included; it
+        # participates through its local workspace/locks like the others).
+        self.phase(rid, AC, "2pc")
+        committed = yield self.coordinator.run(
+            txn_id, [n for n in quorum if n != self.replica.name], local_vote=True
+        )
+        if committed:
+            self._on_decision(txn_id, True)
+            self.respond(client, request, committed=True, values=values)
+        else:
+            self._on_decision(txn_id, False)
+            self.respond(client, request, committed=False, reason="2pc abort")
+
+    def _perform_operation(self, rid: str, txn_id: str, op: Operation, quorum):
+        """One SC/EX round of Figure 13: lock, compute, buffer at the quorum.
+
+        Generator; returns the operation's client-visible value (None for
+        blind writes).  Raises :class:`TransactionAborted` on lock denial.
+        """
+        if op.kind == "read":
+            self.phase(rid, SC, "locks")
+            if self.write_quorum is None:
+                yield self.tm.locks.acquire(
+                    txn_id, op.item, READ, timeout=self.lock_timeout
+                )
+                self.phase(rid, EX)
+                return self._workspace_read(txn_id, op.item)[1]
+            workspace = self._workspace_lookup(txn_id, op.item)
+            if workspace is None:
+                _v, value = yield from self._quorum_read(txn_id, op.item)
+            else:
+                value = workspace[1]
+            self.phase(rid, EX)
+            return value
+        # SC: write lock at the whole write quorum.
+        self.phase(rid, SC, "locks")
+        grants = [
+            self.replica.node.call(
+                site, LOCK, timeout=self.lock_timeout + 20.0,
+                txn=txn_id, item=op.item, mode=WRITE,
+                lock_timeout=self.lock_timeout,
+            )
+            for site in quorum
+        ]
+        replies = yield self.sim.all_of(grants)
+        if not all(reply["granted"] for reply in replies):
+            raise TransactionAborted(txn_id, "remote lock denied")
+        # EX: compute the after-image once, install it at the quorum.
+        # The current value/version come from the transaction's own
+        # workspace or from the highest-versioned quorum copy (the
+        # write quorum intersects every earlier write quorum).
+        self.phase(rid, EX)
+        workspace = self._workspace_lookup(txn_id, op.item)
+        if workspace is not None:
+            current_version, current = workspace
+        else:
+            best = max(replies, key=lambda r: (r["version"], r["site"]))
+            current_version, current = best["version"], best["value"]
+        if op.kind == "write":
+            new_value = op.argument
+        else:
+            new_value = apply_update(op.func, current, op.argument, self.rng)
+        new_version = current_version + 1
+        for site in quorum:
+            self.replica.node.send(
+                site, BUFFER, txn=txn_id, item=op.item,
+                value=new_value, version=new_version,
+            )
+        return None if op.kind == "write" else new_value
+
+    # -- interactive sessions (Section 5) ----------------------------------------
+
+    def _on_session_begin(self, message: Message) -> None:
+        sid = message["session"]
+        try:
+            n_live = len([n for n in self.group
+                          if not self.replica.detector.is_suspected(n)])
+            size = self.write_quorum if self.write_quorum is not None else n_live
+            quorum = self._quorum_sites(size)
+        except TransactionAborted as exc:
+            self.replica.node.reply(message, ok=False, reason=str(exc))
+            return
+        self._sessions[sid] = {
+            "txn_id": f"{sid}@{self.replica.name}",
+            "quorum": quorum,
+        }
+        self.phase(sid, RE)
+        self.replica.node.reply(message, ok=True, reason="")
+
+    def _on_session_op(self, message: Message) -> None:
+        self.replica.node.spawn(
+            self._session_op(message), name=f"ueld-sess-op-{message['session']}"
+        )
+
+    def _session_op(self, message: Message):
+        sid = message["session"]
+        state = self._sessions.get(sid)
+        if state is None:
+            self.replica.node.reply(message, ok=False, reason="no such session",
+                                    value=None)
+            return
+        op = Operation(message["kind"], message["item"],
+                       argument=message["argument"], func=message["func"])
+        try:
+            value = yield from self._perform_operation(
+                sid, state["txn_id"], op, state["quorum"]
+            )
+        except (TransactionAborted, TimeoutError, NodeCrashed) as exc:
+            self._sessions.pop(sid, None)
+            yield from self._abort_everywhere(state["txn_id"], state["quorum"])
+            self.replica.node.reply(message, ok=False, reason=str(exc), value=None)
+            return
+        self.replica.node.reply(message, ok=True, reason="", value=value)
+
+    def _on_session_commit(self, message: Message) -> None:
+        self.replica.node.spawn(
+            self._session_commit(message),
+            name=f"ueld-sess-commit-{message['session']}",
+        )
+
+    def _session_commit(self, message: Message):
+        sid = message["session"]
+        state = self._sessions.pop(sid, None)
+        if state is None:
+            self.replica.node.reply(message, committed=False)
+            return
+        self.phase(sid, AC, "2pc")
+        committed = yield self.coordinator.run(
+            state["txn_id"],
+            [n for n in state["quorum"] if n != self.replica.name],
+            local_vote=True,
+        )
+        self._on_decision(state["txn_id"], committed)
+        self.phase(sid, END)
+        self.replica.node.reply(message, committed=committed)
+
+    def _on_session_abort(self, message: Message) -> None:
+        sid = message["session"]
+        state = self._sessions.pop(sid, None)
+        if state is not None:
+            for site in state["quorum"]:
+                if site != self.replica.name:
+                    self.replica.node.send(site, "2pc.decision",
+                                           txn=state["txn_id"], commit=False)
+            self._on_decision(state["txn_id"], False)
+        self.replica.node.reply(message, ok=True)
+
+    def _workspace_lookup(self, txn_id: str, item: str):
+        for buffered_item, value, version in reversed(self._workspaces.get(txn_id, [])):
+            if buffered_item == item:
+                return version, value
+        return None
+
+    def _workspace_read(self, txn_id: str, item: str):
+        """(version, value) from the workspace, falling back to the store."""
+        workspace = self._workspace_lookup(txn_id, item)
+        if workspace is not None:
+            return workspace
+        return self.store.version(item), self.store.read(item)
+
+    def _release_everywhere(self, txn_id: str) -> None:
+        self.tm.locks.release_all(txn_id)
+        if self.write_quorum is not None:
+            for site in self.peers():
+                self.replica.node.send(site, "2pc.decision", txn=txn_id, commit=False)
+
+    def _abort_everywhere(self, txn_id: str, sites: List[str]):
+        for site in sites:
+            if site != self.replica.name:
+                self.replica.node.send(site, "2pc.decision", txn=txn_id, commit=False)
+        self._on_decision(txn_id, False)
+        return
+        yield  # pragma: no cover - makes this a generator for yield from
+
+    # -- participant side ---------------------------------------------------------
+
+    def _on_lock_request(self, message: Message) -> None:
+        self.replica.node.spawn(
+            self._grant_lock(message), name=f"ueld-lock-{message['txn']}"
+        )
+
+    def _grant_lock(self, message: Message):
+        item = message["item"]
+        try:
+            yield self.tm.locks.acquire(
+                message["txn"], item, message["mode"],
+                timeout=message["lock_timeout"],
+            )
+        except TransactionAborted as exc:
+            self.replica.node.reply(message, granted=False, reason=str(exc))
+            return
+        # Piggyback this copy's version and value: the delegate derives the
+        # current state from the highest-versioned quorum member.
+        self.replica.node.reply(
+            message, granted=True, site=self.replica.name,
+            version=self.store.version(item), value=self.store.read(item),
+        )
+
+    def _on_buffer(self, message: Message) -> None:
+        self._workspaces.setdefault(message["txn"], []).append(
+            (message["item"], message["value"], message["version"])
+        )
+
+    def _on_prepare(self, txn_id: str) -> bool:
+        return txn_id in self._workspaces
+
+    def _on_decision(self, txn_id: str, commit: bool) -> None:
+        workspace = self._workspaces.pop(txn_id, None)
+        if commit and workspace:
+            if not txn_id.endswith(f"@{self.replica.name}"):
+                # Non-delegate sites record their AC participation; the
+                # delegate already recorded AC when it started the 2PC.
+                self.phase(txn_id.split("@")[0], AC, "2pc")
+            for item, value, version in workspace:
+                self.store.write_versioned(item, value, version)
+        self.tm.locks.release_all(txn_id)

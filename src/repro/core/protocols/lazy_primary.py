@@ -1,0 +1,214 @@
+"""Lazy primary copy replication (Section 4.5, Figure 10).
+
+"Lazy replication avoids the synchronisation overhead of eager replication
+techniques by providing a response to the clients before there is any
+coordination between servers."  With a primary copy, the later Agreement
+Coordination "is relatively straightforward ... the replicas need only to
+apply the changes as the primary propagates them."
+
+Mechanics:
+
+* Update transactions go to the primary; it executes and commits locally
+  and responds **immediately** — END precedes AC, the signature phase
+  reordering of Figure 10 (and the eager/lazy distinction of Figure 16).
+* Propagation: the primary ships its write-ahead-log tail to each
+  secondary, either after a fixed delay per transaction or batched on a
+  period.  The FIFO links plus LSN ordering mean secondaries apply the
+  primary's commit order — no reconciliation needed.
+* Read-only transactions run at any replica and may observe **stale**
+  data; the staleness benchmark quantifies the window.
+
+``config`` options:
+
+* ``propagation_delay`` — how long after commit updates ship (default 20).
+* ``batch_interval`` — if set, ship the accumulated WAL tail on this
+  period instead of per-transaction timers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...db import TransactionUpdates
+from ...errors import TransactionAborted
+from ...net import Message
+from ..operations import Request
+from ..phases import AC, END, EX, RE, PhaseDescriptor, PhaseStep
+from .base import ProtocolInfo, ReplicaProtocol, run_transaction
+
+__all__ = ["LazyPrimaryCopy"]
+
+APPLY = "lp.apply"
+SYNC = "lp.sync"
+
+
+class LazyPrimaryCopy(ReplicaProtocol):
+    """Per-replica endpoint of lazy primary copy replication."""
+
+    info = ProtocolInfo(
+        name="lazy_primary",
+        title="Lazy primary copy",
+        figure="Figure 10",
+        community="db",
+        descriptor=PhaseDescriptor(
+            technique="lazy_primary",
+            steps=(
+                PhaseStep(RE),
+                PhaseStep(EX),
+                PhaseStep(END),
+                PhaseStep(AC, "propagation"),
+            ),
+        ),
+        consistency="weak",
+        client_policy="primary",
+        propagation="lazy",
+        update_location="primary",
+        failure_transparent=False,
+        requires_determinism=False,
+        supports_multi_op=True,
+        reads_anywhere=True,
+    )
+
+    def __init__(self, replica, group, config) -> None:
+        super().__init__(replica, group, config)
+        self.propagation_delay = float(config.get("propagation_delay", 20.0))
+        self.batch_interval: Optional[float] = config.get("batch_interval")
+        self._shipped_lsn: Dict[str, int] = {peer: 0 for peer in self.peers()}
+        replica.node.on(APPLY, self._on_apply)
+        replica.node.on(SYNC, self._on_sync_request)
+        replica.detector.on_suspect(self._on_suspect)
+        replica.detector.on_restore(self._on_peer_restored)
+        if self.batch_interval is not None:
+            replica.node.every(float(self.batch_interval), self._ship_tail)
+            replica.node.add_recover_hook(
+                lambda: replica.node.every(float(self.batch_interval), self._ship_tail)
+            )
+
+    @property
+    def is_primary(self) -> bool:
+        return self.replica.system.directory.primary == self.replica.name
+
+    # -- request path -------------------------------------------------------
+
+    def handle_request(self, request: Request, client: str) -> None:
+        rid = request.request_id
+        if request.read_only:
+            # Local (possibly stale) reads at any site — the lazy selling
+            # point: no communication inside the transaction at all.
+            self.phase(rid, EX)
+            values = [self.store.read(op.item) for op in request.operations]
+            self.respond(client, request, committed=True, values=values)
+            return
+        if not self.is_primary:
+            self.respond(
+                client, request, committed=False,
+                reason=f"not primary (primary is {self.replica.system.directory.primary})",
+            )
+            return
+        self.replica.node.spawn(self._execute(request, client), name=f"lp-{rid}")
+
+    def _execute(self, request: Request, client: str):
+        rid = request.request_id
+        self.phase(rid, EX)
+        try:
+            values, updates = yield from run_transaction(
+                self.tm, request, self.rng, txn_id=f"{rid}@primary"
+            )
+        except TransactionAborted as exc:
+            self.respond(client, request, committed=False, reason=str(exc))
+            return
+        # END before AC: the client hears back as soon as the local commit
+        # is durable; propagation happens afterwards.
+        self.respond(client, request, committed=True, values=values)
+        if self.batch_interval is None:
+            self.replica.node.after(self.propagation_delay, self._ship_tail, rid)
+
+    # -- propagation ----------------------------------------------------------
+
+    def _ship_tail(self, rid: Optional[str] = None) -> None:
+        if not self.is_primary:
+            return
+        if rid is not None:
+            self.phase(rid, AC, "propagation")
+        for peer in self.peers():
+            shipped = self._shipped_lsn.get(peer, 0)
+            tail = self.tm.wal.tail(shipped)
+            if not tail:
+                continue
+            self._shipped_lsn[peer] = shipped + len(tail)
+            self.replica.node.send(
+                peer, APPLY,
+                from_lsn=shipped,
+                entries=[entry.as_wire() for entry in tail],
+            )
+
+    def _on_apply(self, message: Message) -> None:
+        for wire in message["entries"]:
+            updates = TransactionUpdates.from_wire(wire)
+            self.tm.apply_updates(updates, log=False)
+
+    # -- failover -----------------------------------------------------------
+
+    def _on_suspect(self, peer: str) -> None:
+        """Promote the lowest live secondary when the primary dies.
+
+        Note the price of laziness the paper points out: updates the old
+        primary committed but had not yet propagated are *lost* — the new
+        primary starts from its own (possibly stale) copy.
+        """
+        directory = self.replica.system.directory
+        if peer != directory.primary:
+            return
+        live = [
+            name for name in self.group
+            if name == self.replica.name or not self.replica.detector.is_suspected(name)
+        ]
+        if live and live[0] == self.replica.name:
+            directory.set_primary(self.replica.name)
+
+    # -- recovery -----------------------------------------------------------------
+
+    def on_recover(self) -> None:
+        """Pull the current primary's state after a restart.
+
+        A recovered secondary missed every log shipment sent while it was
+        down (the primary's shipping cursor moved on regardless), so it
+        resynchronises by full state pull — the lazy analogue of restoring
+        a replica from a backup before resuming log apply.
+        """
+        self.replica.node.spawn(self._resync(), name=f"{self.replica.name}-resync")
+
+    def _resync(self):
+        directory = self.replica.system.directory
+        if directory.primary == self.replica.name:
+            return
+        try:
+            reply = yield self.replica.node.call(directory.primary, SYNC, timeout=60.0)
+        except Exception:  # noqa: BLE001 - primary unreachable; stay stale
+            return
+        for item, value, version in reply["state"]:
+            self.store.write_versioned(item, value, version)
+
+    def _on_sync_request(self, message) -> None:
+        state = [
+            [item, versioned.value, versioned.version]
+            for item, versioned in self.store.items()
+        ]
+        self.replica.node.reply(message, state=state)
+
+    def _on_peer_restored(self, peer: str) -> None:
+        """Re-ship the whole log to a peer that was presumed dead.
+
+        Shipments sent while the peer was down were dropped on the floor;
+        rewinding its cursor replays them (idempotent thanks to the
+        version check in ``write_versioned``)."""
+        if self.is_primary and peer in self._shipped_lsn:
+            self._shipped_lsn[peer] = 0
+            self._ship_tail()
+
+    # -- introspection -----------------------------------------------------------
+
+    def replication_lag(self) -> Dict[str, int]:
+        """Per-secondary count of not-yet-shipped WAL entries."""
+        last = self.tm.wal.last_lsn() + 1
+        return {peer: last - lsn for peer, lsn in self._shipped_lsn.items()}

@@ -1,0 +1,188 @@
+"""Lazy update everywhere replication (Section 4.6, Figure 11).
+
+Any site accepts updates, commits locally, responds, and propagates later
+— maximum availability and minimum response time, at the price the paper
+spells out: "the copies on the different site might not only be stale but
+inconsistent.  Reconciliation is needed to decide which updates are the
+winners and which transactions must be undone."
+
+Mechanics:
+
+* RE/EX/END at the client's local replica: execute under local 2PL,
+  commit, answer immediately (END before AC, as in Figure 10/11).
+* Each committed writeset gets a :class:`~repro.db.Stamp` (commit time,
+  site, per-site sequence) and, after ``propagation_delay``, is reliably
+  broadcast to the other replicas.
+* AC = **reconciliation** (per object, exactly as the paper notes existing
+  schemes are): every site feeds every write — its own at commit time,
+  remote ones on arrival — through the same deterministic policy
+  (last-writer-wins by default, site-priority optionally), so all replicas
+  converge to identical values once propagation quiesces.  Transactions
+  whose writes lost are counted as *undone* — the reconciliation casualty
+  figure the benchmarks report.
+
+``config`` options:
+
+* ``propagation_delay`` — delay between commit and broadcast (default 20).
+* ``reconciliation`` — ``"lww"`` (default), ``"priority"``, or
+  ``"abcast"``: the paper's own suggestion for the simple model — "a
+  straightforward solution ... is to run an Atomic Broadcast and
+  determine the after-commit-order according to the order of the atomic
+  broadcast".  Writesets are applied in ABCAST delivery order at every
+  site, which converges without any timestamp scheme.
+* ``priorities`` — site -> rank map for the ``"priority"`` policy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+from ...db import LastWriterWins, SitePriority, Stamp, TransactionUpdates
+from ...errors import TransactionAborted
+from ...groupcomm import ReliableBroadcast, SequencerAtomicBroadcast
+from ..operations import Request
+from ..phases import AC, END, EX, RE, PhaseDescriptor, PhaseStep
+from .base import ProtocolInfo, ReplicaProtocol, run_transaction
+
+__all__ = ["LazyUpdateEverywhere"]
+
+
+class LazyUpdateEverywhere(ReplicaProtocol):
+    """Per-replica endpoint of lazy update everywhere replication."""
+
+    info = ProtocolInfo(
+        name="lazy_ue",
+        title="Lazy update everywhere",
+        figure="Figure 11",
+        community="db",
+        descriptor=PhaseDescriptor(
+            technique="lazy_ue",
+            steps=(
+                PhaseStep(RE),
+                PhaseStep(EX),
+                PhaseStep(END),
+                PhaseStep(AC, "reconciliation"),
+            ),
+        ),
+        consistency="weak",
+        client_policy="local",
+        propagation="lazy",
+        update_location="everywhere",
+        failure_transparent=False,
+        requires_determinism=False,
+        supports_multi_op=True,
+        reads_anywhere=True,
+    )
+
+    def __init__(self, replica, group, config) -> None:
+        super().__init__(replica, group, config)
+        self.propagation_delay = float(config.get("propagation_delay", 20.0))
+        self.policy = config.get("reconciliation", "lww")
+        self.reconciler = None
+        self._abcast = None
+        self._overwritten_by_order: set = set()
+        self._last_writer: Dict[str, object] = {}
+        if self.policy == "priority":
+            self.reconciler = SitePriority(self.store, config.get("priorities", {}))
+        elif self.policy == "lww":
+            self.reconciler = LastWriterWins(self.store)
+        elif self.policy == "abcast":
+            self._abcast = SequencerAtomicBroadcast(
+                replica.node, replica.transport, group, self._on_ordered,
+                channel_prefix="lue.ab",
+            )
+        else:
+            raise ValueError(f"unknown reconciliation policy {self.policy!r}")
+        self._stamp_seq = itertools.count(1)
+        self._rb = ReliableBroadcast(
+            replica.node, replica.transport, group, self._on_propagated,
+            channel="lue.prop",
+        )
+
+    # -- request path -----------------------------------------------------------
+
+    def handle_request(self, request: Request, client: str) -> None:
+        rid = request.request_id
+        if request.read_only:
+            self.phase(rid, EX)
+            values = [self.store.read(op.item) for op in request.operations]
+            self.respond(client, request, committed=True, values=values)
+            return
+        self.replica.node.spawn(self._execute(request, client), name=f"lue-{rid}")
+
+    def _execute(self, request: Request, client: str):
+        rid = request.request_id
+        self.phase(rid, EX)
+        try:
+            values, updates = yield from run_transaction(
+                self.tm, request, self.rng, txn_id=f"{rid}@{self.replica.name}"
+            )
+        except TransactionAborted as exc:
+            self.respond(client, request, committed=False, reason=str(exc))
+            return
+        stamp = Stamp(
+            time=self.sim.now,
+            site=self.replica.name,
+            txn_id=rid,
+            seq=next(self._stamp_seq),
+        )
+        if self.reconciler is not None:
+            # Register our own writes with the reconciler now, so a remote
+            # write with a larger stamp can later overwrite them (and ours
+            # can defend their slot against smaller stamps).
+            for record in updates.records:
+                self.reconciler.consider(record.item, record.value, stamp)
+        self.respond(client, request, committed=True, values=values)
+        self.replica.node.after(
+            self.propagation_delay, self._propagate, updates, stamp, rid
+        )
+
+    # -- propagation + reconciliation --------------------------------------------
+
+    def _propagate(self, updates: TransactionUpdates, stamp: Stamp, rid: str) -> None:
+        self.phase(rid, AC, "reconciliation")
+        if self._abcast is not None:
+            self._abcast.abcast(
+                "writeset", updates=updates.as_wire(), stamp=stamp.as_wire()
+            )
+        else:
+            self._rb.broadcast(
+                "writeset", updates=updates.as_wire(), stamp=stamp.as_wire()
+            )
+
+    def _on_propagated(self, origin: str, mtype: str, body: dict) -> None:
+        if origin == self.replica.name:
+            return  # already reconciled locally at commit time
+        updates = TransactionUpdates.from_wire(body["updates"])
+        stamp = Stamp.from_wire(body["stamp"])
+        for record in updates.records:
+            self.reconciler.consider(record.item, record.value, stamp)
+
+    def _on_ordered(self, origin: str, mtype: str, body: dict) -> None:
+        """Apply writesets in the ABCAST-determined after-commit order.
+
+        Every site applies the same sequence, so the copies converge with
+        no per-object timestamps.  A transaction counts as *undone* when
+        the decided order inverts real time — its write is superseded by
+        one that actually committed earlier (ordinary newer-over-older
+        overwrites are just history, not reconciliation casualties)."""
+        updates = TransactionUpdates.from_wire(body["updates"])
+        stamp = Stamp.from_wire(body["stamp"])
+        for record in updates.records:
+            previous = self._last_writer.get(record.item)
+            if previous is not None and previous[0] != stamp.txn_id:
+                previous_txn, previous_stamp = previous
+                if stamp.sort_key < previous_stamp.sort_key:
+                    self._overwritten_by_order.add(previous_txn)
+            self._last_writer[record.item] = (stamp.txn_id, stamp)
+            self.store.write(record.item, record.value)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def undone_transactions(self) -> int:
+        """Transactions at this site whose writes lost reconciliation."""
+        if self.reconciler is not None:
+            return self.reconciler.undone_count
+        return len(self._overwritten_by_order)

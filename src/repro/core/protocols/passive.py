@@ -1,0 +1,169 @@
+"""Passive (primary-backup) replication (Section 3.3, Figure 3).
+
+"Clients send their requests to a primary, which executes the requests and
+sends update messages to the backups.  The backups do not execute the
+invocation, but apply the changes produced by the invocation execution at
+the primary."
+
+Faithful points:
+
+* **No Server Coordination phase** — the primary alone orders execution.
+* The update is propagated with **VSCAST** (Section 3.3 explains FIFO
+  alone cannot survive a primary failover; the view-synchronous broadcast
+  orders a faulty primary's last updates against the new primary's).
+* Non-determinism is fine: only the primary executes; backups apply
+  after-images.  ``random_token`` operations are safe here.
+* **Failures are not transparent to clients** (Figure 5): if the primary
+  crashes, the client times out, the membership installs a new view, the
+  directory flips to the new primary (the first member of the new view)
+  and the client re-submits.
+* Exactly-once across failover: the primary's response values travel with
+  the vscast update, so a backup promoted to primary answers re-submitted
+  requests from its result cache instead of re-executing them.
+
+``config`` options: none.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...db import TransactionUpdates
+from ...errors import TransactionAborted
+from ...groupcomm import View, ViewSyncGroup
+from ..operations import Request
+from ..phases import AC, END, EX, RE, PhaseDescriptor, PhaseStep
+from .base import ProtocolInfo, ReplicaProtocol, run_transaction
+
+__all__ = ["PassiveReplication"]
+
+
+class PassiveReplication(ReplicaProtocol):
+    """Per-replica endpoint of primary-backup replication."""
+
+    info = ProtocolInfo(
+        name="passive",
+        title="Passive (primary-backup) replication",
+        figure="Figure 3",
+        community="ds",
+        descriptor=PhaseDescriptor(
+            technique="passive",
+            steps=(
+                PhaseStep(RE),
+                PhaseStep(EX),
+                PhaseStep(AC, "vscast"),
+                PhaseStep(END),
+            ),
+        ),
+        consistency="strong",
+        client_policy="primary",
+        failure_transparent=False,
+        requires_determinism=False,
+        supports_multi_op=True,
+    )
+
+    def __init__(self, replica, group, config) -> None:
+        super().__init__(replica, group, config)
+        self.results_cache: Dict[str, list] = {}
+        replica.node.on("passive.forward", self._on_forward)
+        self.view_group = ViewSyncGroup(
+            replica.node,
+            replica.transport,
+            replica.detector,
+            group,
+            self._on_vs_deliver,
+            on_view_change=self._on_view_change,
+            get_state=self._state_snapshot,
+            set_state=self._state_install,
+            trace=replica.system.trace,
+        )
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def is_primary(self) -> bool:
+        return (
+            self.view_group.member
+            and not self.view_group.excluded
+            and self.view_group.view.members[0] == self.replica.name
+        )
+
+    def _on_view_change(self, view: View) -> None:
+        # All surviving members install the same view, so they agree on the
+        # new primary; updating the shared directory models the name
+        # service clients consult on retry.
+        self.replica.system.directory.set_primary(view.members[0])
+
+    def _state_snapshot(self):
+        return {
+            "store": [
+                [item, versioned.value, versioned.version]
+                for item, versioned in self.store.items()
+            ],
+            "results": dict(self.results_cache),
+        }
+
+    def _state_install(self, state) -> None:
+        if state is None:
+            return
+        for item, value, version in state["store"]:
+            self.store.write_versioned(item, value, version)
+        self.results_cache.update(state["results"])
+
+    # -- request path ------------------------------------------------------------
+
+    def handle_request(self, request: Request, client: str) -> None:
+        rid = request.request_id
+        if rid in self.results_cache:
+            # Re-submitted after failover; the update already reached us
+            # view-synchronously, so answer from the cache.
+            self.respond(client, request, committed=True, values=self.results_cache[rid])
+            return
+        if not self.is_primary:
+            # Stale directory entry: forward to the current primary.
+            primary = self.view_group.view.members[0]
+            if primary != self.replica.name:
+                self.replica.node.send(
+                    primary, "passive.forward",
+                    request=request.as_wire(), client=client,
+                )
+            return
+        self.replica.node.spawn(
+            self._execute(request, client), name=f"passive-{rid}"
+        )
+
+    def _execute(self, request: Request, client: str):
+        rid = request.request_id
+        self.phase(rid, EX)
+        try:
+            values, updates = yield from run_transaction(
+                self.tm, request, self.rng, txn_id=f"{rid}@{self.replica.name}"
+            )
+        except TransactionAborted as exc:
+            self.respond(client, request, committed=False, reason=str(exc))
+            return
+        self.phase(rid, AC, "vscast")
+        self.view_group.vscast(
+            "apply", request_id=rid, updates=updates.as_wire(), values=values
+        )
+        # The local vscast delivery is synchronous, so by the time we get
+        # here the result cache already holds rid; respond to the client.
+        self.respond(client, request, committed=True, values=values)
+
+    # -- backup path --------------------------------------------------------------
+
+    def _on_vs_deliver(self, origin: str, mtype: str, body: dict) -> None:
+        if mtype != "apply":
+            return
+        rid = body["request_id"]
+        if rid in self.results_cache:
+            return
+        self.results_cache[rid] = body["values"]
+        if origin != self.replica.name:
+            # Backups record their part of the Agreement Coordination
+            # phase and install the primary's after-images.
+            self.phase(rid, AC, "vscast")
+            self.tm.apply_updates(TransactionUpdates.from_wire(body["updates"]))
+
+    def _on_forward(self, message) -> None:
+        self.handle_request(Request.from_wire(message["request"]), message["client"])

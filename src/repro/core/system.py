@@ -1,0 +1,441 @@
+"""System builder: wire replicas, clients and a protocol into a simulation.
+
+:class:`ReplicatedSystem` is the library's main entry point.  It builds the
+substrate stack (simulator, network, failure detectors, transaction
+managers), instantiates the chosen replication technique on every replica,
+and hands out uniform clients — so the same workload can be swept across
+all of the paper's techniques, which is exactly what the Section 6
+performance-study benchmarks do.
+
+>>> from repro import ReplicatedSystem, Operation
+>>> system = ReplicatedSystem("active", replicas=3, seed=7)
+>>> result = system.execute([Operation.write("x", 1)])
+>>> result.committed
+True
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from ..db import TransactionManager
+from ..errors import ReplicationError
+from ..failures import FailureDetector, FailureInjector
+from ..groupcomm import ReliableTransport
+from ..net import ConstantLatency, LatencyModel, Message, Network, Node
+from ..sim import Future, Simulator, TraceLog
+from .operations import Operation, Request, Result
+from .phases import PhaseTracer, RE
+from .protocols import REGISTRY
+from .protocols.base import CLIENT_REQUEST, CLIENT_RESPONSE, ProtocolInfo
+from .sessions import TransactionSession
+
+__all__ = ["Directory", "ReplicaNode", "ClientNode", "ReplicatedSystem"]
+
+
+class Directory:
+    """Naming service: which replicas exist and which is the primary.
+
+    The paper assumes clients can locate the (current) primary — after a
+    failover "a human operator can reconfigure the system" (Section 4.3
+    footnote) or the group membership does it (Section 3.3).  Both paths
+    end up updating this directory.
+    """
+
+    def __init__(self, members: List[str]) -> None:
+        self.members = list(members)
+        self.primary = members[0]
+        self.changes = 0
+
+    def set_primary(self, name: str) -> None:
+        if name not in self.members:
+            raise ReplicationError(f"{name} is not a group member")
+        if name != self.primary:
+            self.primary = name
+            self.changes += 1
+
+    def __repr__(self) -> str:
+        return f"<Directory primary={self.primary} members={self.members}>"
+
+
+class _HostNode(Node):
+    """Network node that forwards crash/recover events to its owner."""
+
+    def __init__(self, sim, network, name, owner) -> None:
+        self._owner = owner
+        super().__init__(sim, network, name)
+
+    def on_crash(self) -> None:
+        self._owner._host_crashed()
+
+    def on_recover(self) -> None:
+        self._owner._host_recovered()
+
+
+class ReplicaNode:
+    """One replica: node + transaction manager + groupcomm endpoints.
+
+    The protocol instance lives in ``self.protocol`` and registers its
+    message handlers against ``self.node``.
+    """
+
+    def __init__(
+        self,
+        system: "ReplicatedSystem",
+        name: str,
+        fd_interval: float,
+        fd_timeout: float,
+        lock_timeout: Optional[float],
+    ) -> None:
+        self.system = system
+        self.name = name
+        self.node = _HostNode(system.sim, system.net, name, self)
+        self.tm = TransactionManager(system.sim, site=name, lock_timeout=lock_timeout)
+        self.transport = ReliableTransport(self.node)
+        self.detector = FailureDetector(
+            self.node,
+            system.replica_names,
+            interval=fd_interval,
+            timeout=fd_timeout,
+            trace=system.trace,
+        )
+        # Per-replica RNG: non-deterministic operations draw from it, so
+        # two replicas executing the same request can legitimately diverge
+        # (the scenario motivating passive/semi-active replication).
+        self.rng = random.Random((system.seed or 0) * 10007 + hash(name) % 99991)
+        self.tracer = system.tracer
+        self.protocol = None  # set by ReplicatedSystem
+
+    @property
+    def crashed(self) -> bool:
+        return self.node.crashed
+
+    def _host_crashed(self) -> None:
+        self.tm.abort_all_active("node crashed")
+        if self.protocol is not None:
+            self.protocol.on_crash()
+
+    def _host_recovered(self) -> None:
+        if self.protocol is not None:
+            self.protocol.on_recover()
+
+    def __repr__(self) -> str:
+        return f"<ReplicaNode {self.name} {'crashed' if self.crashed else 'up'}>"
+
+
+class ClientNode:
+    """A client of the replicated service.
+
+    ``submit`` returns a future resolving to a :class:`Result`.  Routing
+    follows the protocol's client policy:
+
+    * ``"all"`` — send to every replica, keep the first response (the
+      distributed-systems style; masks replica failures entirely).
+    * ``"primary"`` — send to the directory's current primary; on timeout,
+      re-resolve and retry (the database hot-standby style; failures are
+      visible as latency).
+    * ``"local"`` — stick to one home replica; on timeout, reconnect to the
+      next live replica and re-submit, as Section 4.1 describes.
+    """
+
+    def __init__(
+        self,
+        system: "ReplicatedSystem",
+        name: str,
+        policy: str,
+        home: str,
+        timeout: Optional[float],
+    ) -> None:
+        self.system = system
+        self.name = name
+        self.policy = policy
+        self.home = home
+        self.timeout = timeout
+        self.node = Node(system.sim, system.net, name)
+        self.node.on(CLIENT_RESPONSE, self._on_response)
+        self._pending: Dict[str, dict] = {}
+        self.results: List[Result] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def submit(self, operations: Union[Operation, Iterable[Operation]]) -> Future:
+        """Submit a request; returns a future resolving to a Result."""
+        if isinstance(operations, Operation):
+            operations = [operations]
+        request = Request.make(tuple(operations), client=self.name)
+        future = self.system.sim.future(label=f"result:{request.request_id}")
+        entry = {
+            "request": request,
+            "future": future,
+            "submitted_at": self.system.sim.now,
+            "retries": 0,
+            "timer": None,
+        }
+        self._pending[request.request_id] = entry
+        self._dispatch(entry)
+        return future
+
+    def session(self, server: Optional[str] = None) -> TransactionSession:
+        """Open an interactive transaction session (Section 5).
+
+        The server defaults to the technique's natural contact point: the
+        current primary for primary-copy techniques, this client's home
+        replica otherwise.
+        """
+        if not self.system.info.supports_sessions:
+            raise ReplicationError(
+                f"{self.system.protocol_name} does not support interactive "
+                "sessions (no per-operation coordination loop)"
+            )
+        if server is None:
+            server = (
+                self.system.directory.primary
+                if self.policy == "primary"
+                else self.home
+            )
+        return TransactionSession(self, server)
+
+    # -- routing ----------------------------------------------------------------
+
+    def _targets(self, entry: dict) -> List[str]:
+        if self.policy == "all":
+            return list(self.system.replica_names)
+        if self.policy == "primary":
+            if entry["request"].read_only and self.system.info.reads_anywhere:
+                return [self.home]
+            return [self.system.directory.primary]
+        return [self.home]
+
+    def _dispatch(self, entry: dict) -> None:
+        request = entry["request"]
+        targets = self._targets(entry)
+        entry["last_targets"] = targets
+        for target in targets:
+            self.node.send(target, CLIENT_REQUEST, request=request.as_wire())
+        if self.timeout is not None:
+            entry["timer"] = self.node.after(self.timeout, self._on_timeout, request.request_id)
+
+    def _on_timeout(self, request_id: str) -> None:
+        entry = self._pending.get(request_id)
+        if entry is None:
+            return
+        # A client can tell a dead server from a slow one (its connection
+        # breaks), so re-submission — which risks executing the request
+        # twice — only happens when the contacted server actually failed
+        # or a failover moved the primary elsewhere.  A merely slow server
+        # (lock queues, blocking 2PC) keeps the client waiting: the
+        # blocking behaviour the paper says databases accept.
+        if self.policy != "all":
+            target = entry.get("last_targets", [None])[0]
+            target_alive = (
+                target is not None and not self.system.replicas[target].crashed
+            )
+            current_target = self._targets(entry)[0]
+            if target_alive and current_target == target:
+                entry["timer"] = self.node.after(
+                    self.timeout, self._on_timeout, request_id
+                )
+                return
+        entry["retries"] += 1
+        if entry["retries"] > self.system.max_client_retries:
+            self._pending.pop(request_id, None)
+            result = self._finish(entry, committed=False, values=[],
+                                  reason="client gave up", server="")
+            entry["future"].set_result(result)
+            return
+        # Reconnect: primaries are re-resolved from the directory; local
+        # clients fail over to the next live replica.
+        if self.policy == "local" and self.system.replicas[self.home].crashed:
+            self.home = self.system.next_live_replica(self.home)
+        self._dispatch(entry)
+
+    def _on_response(self, message: Message) -> None:
+        entry = self._pending.pop(message["request_id"], None)
+        if entry is None:
+            return  # duplicate response (e.g. active replication's n replies)
+        if entry["timer"] is not None:
+            entry["timer"].cancel()
+        result = self._finish(
+            entry,
+            committed=message["committed"],
+            values=message["values"],
+            reason=message["reason"],
+            server=message["server"],
+        )
+        entry["future"].set_result(result)
+
+    def _finish(self, entry: dict, committed, values, reason, server) -> Result:
+        result = Result(
+            request_id=entry["request"].request_id,
+            committed=committed,
+            values=values,
+            reason=reason,
+            submitted_at=entry["submitted_at"],
+            completed_at=self.system.sim.now,
+            server=server,
+            retries=entry["retries"],
+            operations=entry["request"].operations,
+        )
+        self.results.append(result)
+        return result
+
+    def __repr__(self) -> str:
+        return f"<ClientNode {self.name} policy={self.policy} home={self.home}>"
+
+
+class ReplicatedSystem:
+    """A complete replicated service running one technique.
+
+    Parameters
+    ----------
+    protocol:
+        Registry name: ``"active"``, ``"passive"``, ``"semi_active"``,
+        ``"semi_passive"``, ``"eager_primary"``, ``"eager_ue_locking"``,
+        ``"eager_ue_abcast"``, ``"lazy_primary"``, ``"lazy_ue"``,
+        ``"certification"``.
+    replicas, clients:
+        How many replica sites and client processes to build.
+    seed, latency, loss_rate:
+        Simulation determinism and network model.
+    fd_interval, fd_timeout:
+        Failure-detection aggressiveness.
+    client_timeout:
+        Client retry timeout; defaults to None for transparent (policy
+        ``"all"``) techniques and 120 time units otherwise.
+    config:
+        Protocol-specific options (documented per protocol class).
+    """
+
+    def __init__(
+        self,
+        protocol: str,
+        replicas: int = 3,
+        clients: int = 1,
+        seed: Optional[int] = 0,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        fd_interval: float = 2.0,
+        fd_timeout: float = 8.0,
+        lock_timeout: Optional[float] = 60.0,
+        client_timeout: Optional[float] = None,
+        max_client_retries: int = 10,
+        config: Optional[dict] = None,
+    ) -> None:
+        if protocol not in REGISTRY:
+            raise ReplicationError(
+                f"unknown protocol {protocol!r}; available: {sorted(REGISTRY)}"
+            )
+        self.protocol_name = protocol
+        self.protocol_cls = REGISTRY[protocol]
+        self.info: ProtocolInfo = self.protocol_cls.info
+        self.seed = seed
+        self.sim = Simulator(seed=seed)
+        self.trace = TraceLog(self.sim)
+        self.tracer = PhaseTracer(self.trace)
+        self.net = Network(
+            self.sim,
+            latency=latency if latency is not None else ConstantLatency(1.0),
+            loss_rate=loss_rate,
+            trace=None,
+        )
+        self.injector = FailureInjector(self.sim, self.net, trace=self.trace)
+        self.replica_names = [f"r{i}" for i in range(replicas)]
+        self.directory = Directory(self.replica_names)
+        self.max_client_retries = max_client_retries
+        self.config = dict(config or {})
+
+        self.replicas: Dict[str, ReplicaNode] = {}
+        for name in self.replica_names:
+            self.replicas[name] = ReplicaNode(
+                self, name, fd_interval, fd_timeout, lock_timeout
+            )
+        for name, replica in self.replicas.items():
+            replica.protocol = self.protocol_cls(replica, self.replica_names, self.config)
+
+        if client_timeout is None and self.info.client_policy != "all":
+            client_timeout = 120.0
+        self.clients: List[ClientNode] = []
+        for i in range(clients):
+            home = self.replica_names[i % replicas]
+            self.clients.append(
+                ClientNode(self, f"c{i}", self.info.client_policy, home, client_timeout)
+            )
+
+    # -- convenience -----------------------------------------------------------
+
+    def client(self, index: int = 0) -> ClientNode:
+        return self.clients[index]
+
+    def submit(
+        self, operations: Union[Operation, Iterable[Operation]], client: int = 0
+    ) -> Future:
+        """Submit through a client; phases begin with the RE record."""
+        return self.clients[client].submit(operations)
+
+    def execute(
+        self,
+        operations: Union[Operation, Iterable[Operation]],
+        client: int = 0,
+        max_events: int = 10_000_000,
+    ) -> Result:
+        """Submit and run the simulation until the result is known."""
+        future = self.submit(operations, client=client)
+        return self.sim.run_until_done(future, max_events=max_events)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def settle(self, extra_time: float = 500.0) -> None:
+        """Run past all pending activity (lazy propagation, view changes)."""
+        self.sim.run(until=self.sim.now + extra_time)
+
+    # -- replica access -----------------------------------------------------------
+
+    def replica(self, name: str) -> ReplicaNode:
+        return self.replicas[name]
+
+    def protocol_at(self, name: str):
+        return self.replicas[name].protocol
+
+    def store_of(self, name: str):
+        return self.replicas[name].tm.store
+
+    def next_live_replica(self, after: str) -> str:
+        names = self.replica_names
+        start = (names.index(after) + 1) % len(names) if after in names else 0
+        for offset in range(len(names)):
+            candidate = names[(start + offset) % len(names)]
+            if not self.replicas[candidate].crashed:
+                return candidate
+        return after
+
+    def live_replicas(self) -> List[str]:
+        return [n for n in self.replica_names if not self.replicas[n].crashed]
+
+    # -- convergence oracle ------------------------------------------------------
+
+    def converged(self, values_only: bool = True, live_only: bool = True) -> bool:
+        """Do all (live) replicas hold identical data?"""
+        names = self.live_replicas() if live_only else self.replica_names
+        if not names:
+            return True
+        digests = {
+            name: (
+                self.store_of(name).values_digest()
+                if values_only
+                else self.store_of(name).digest()
+            )
+            for name in names
+        }
+        return len(set(digests.values())) == 1
+
+    def divergent_replicas(self) -> Dict[str, tuple]:
+        """Per-live-replica value digests (debugging aid)."""
+        return {name: self.store_of(name).values_digest() for name in self.live_replicas()}
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReplicatedSystem {self.protocol_name} replicas={len(self.replicas)} "
+            f"clients={len(self.clients)} t={self.sim.now:.1f}>"
+        )

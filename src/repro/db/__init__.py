@@ -1,0 +1,35 @@
+"""Database substrate (Section 4.1 of the paper).
+
+Per-site building blocks under the database replication protocols:
+versioned storage, a strict-2PL lock manager with deadlock handling, a
+write-ahead log, the local transaction manager, two-phase commit, the
+certification test, and lazy-replication reconciliation policies.
+"""
+
+from .certification import CertificationOutcome, Certifier
+from .locks import READ, WRITE, LockManager
+from .log import TransactionUpdates, UpdateRecord, WriteAheadLog
+from .reconciliation import LastWriterWins, SitePriority, Stamp
+from .storage import DataStore, Versioned
+from .transactions import Transaction, TransactionManager
+from .twophase import TwoPhaseCoordinator, TwoPhaseParticipant
+
+__all__ = [
+    "DataStore",
+    "Versioned",
+    "LockManager",
+    "READ",
+    "WRITE",
+    "UpdateRecord",
+    "TransactionUpdates",
+    "WriteAheadLog",
+    "Transaction",
+    "TransactionManager",
+    "TwoPhaseCoordinator",
+    "TwoPhaseParticipant",
+    "Certifier",
+    "CertificationOutcome",
+    "LastWriterWins",
+    "SitePriority",
+    "Stamp",
+]

@@ -1,0 +1,100 @@
+"""Write-ahead log and update records.
+
+The paper's eager primary copy description (Section 4.3): "The execution
+phase involves performing the transactions to generate the corresponding
+log records which are then sent to the secondary and applied."  An
+:class:`UpdateRecord` is exactly such a log record — the physical
+after-image of one write — and a :class:`WriteAheadLog` is one site's
+durable sequence of them.  Durability matters in the simulation because a
+database node's log survives crash/recover, unlike its volatile lock
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["UpdateRecord", "TransactionUpdates", "WriteAheadLog"]
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """After-image of a single physical write."""
+
+    item: str
+    value: Any
+    version: int
+
+    def as_wire(self) -> list:
+        """Plain-data form for message payloads."""
+        return [self.item, self.value, self.version]
+
+    @staticmethod
+    def from_wire(data: list) -> "UpdateRecord":
+        return UpdateRecord(item=data[0], value=data[1], version=data[2])
+
+
+@dataclass(frozen=True)
+class TransactionUpdates:
+    """The full writeset of one committed transaction, in write order."""
+
+    txn_id: object
+    records: Tuple[UpdateRecord, ...]
+    commit_lsn: int = -1
+
+    def as_wire(self) -> dict:
+        return {
+            "txn_id": self.txn_id,
+            "records": [record.as_wire() for record in self.records],
+            "commit_lsn": self.commit_lsn,
+        }
+
+    @staticmethod
+    def from_wire(data: dict) -> "TransactionUpdates":
+        return TransactionUpdates(
+            txn_id=data["txn_id"],
+            records=tuple(UpdateRecord.from_wire(r) for r in data["records"]),
+            commit_lsn=data["commit_lsn"],
+        )
+
+
+class WriteAheadLog:
+    """Append-only per-site log of committed transaction writesets.
+
+    ``lsn`` (log sequence number) is the index of an entry; secondaries use
+    it to request/apply the primary's tail in order, and lazy protocols use
+    it to track which updates have been propagated where.
+    """
+
+    def __init__(self, site: str = "") -> None:
+        self.site = site
+        self._entries: List[TransactionUpdates] = []
+
+    def append(self, updates: TransactionUpdates) -> int:
+        """Append a writeset; returns its LSN."""
+        lsn = len(self._entries)
+        self._entries.append(
+            TransactionUpdates(updates.txn_id, updates.records, commit_lsn=lsn)
+        )
+        return lsn
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TransactionUpdates]:
+        return iter(self._entries)
+
+    def entry(self, lsn: int) -> TransactionUpdates:
+        return self._entries[lsn]
+
+    def tail(self, from_lsn: int) -> List[TransactionUpdates]:
+        """All entries with LSN >= ``from_lsn``."""
+        return self._entries[from_lsn:]
+
+    def last_lsn(self) -> int:
+        """LSN of the newest entry, or -1 when empty."""
+        return len(self._entries) - 1
+
+    def __repr__(self) -> str:
+        return f"<WriteAheadLog {self.site} entries={len(self._entries)}>"

@@ -1,0 +1,146 @@
+"""Two-phase commit (2PC): the database Agreement Coordination mechanism.
+
+In the paper's analysis, the AC phase of eager database replication "usually
+corresponds to a Two Phase Commit Protocol" (Section 2.2): ordering
+operations is not enough, because "in a database, there can be many reasons
+why an operation succeeds at one site and not at another".  2PC lets every
+site veto.
+
+This implementation is deliberately *blocking*, as the paper notes database
+protocols are: a participant that voted yes waits for the coordinator's
+decision and holds its locks; if the coordinator crashes, the participant
+stays blocked until an operator-like recovery step (``resolve_in_doubt``)
+is invoked.  The failover benchmark measures exactly this cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import NodeCrashed
+from ..net import Message, Node
+from ..sim import Future, TraceLog
+
+__all__ = ["TwoPhaseCoordinator", "TwoPhaseParticipant"]
+
+PREPARE = "2pc.prepare"
+DECISION = "2pc.decision"
+
+_round_counter = itertools.count(1)
+
+
+class TwoPhaseCoordinator:
+    """Coordinator side of 2PC, one instance per node.
+
+    :meth:`run` drives one commit round as a simulated sub-protocol and
+    returns a future resolving to True (committed) or False (aborted).
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        vote_timeout: float = 50.0,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.node = node
+        self.vote_timeout = vote_timeout
+        self.trace = trace
+        self.rounds = 0
+        self.committed = 0
+        self.aborted = 0
+
+    def run(self, txn_id: Any, participants: List[str], local_vote: bool = True) -> Future:
+        """Run 2PC for ``txn_id`` across ``participants`` (remote sites).
+
+        ``local_vote`` is the coordinator's own vote.  The returned future
+        resolves with the global decision.
+        """
+        result = self.node.sim.future(label=f"2pc:{txn_id}")
+        self.node.spawn(self._run(txn_id, list(participants), local_vote, result))
+        return result
+
+    def _run(self, txn_id: Any, participants: List[str], local_vote: bool, result: Future):
+        self.rounds += 1
+        votes_ok = local_vote
+        if votes_ok and participants:
+            calls = [
+                self.node.call(p, PREPARE, timeout=self.vote_timeout, txn=txn_id)
+                for p in participants
+            ]
+            try:
+                replies = yield self.node.sim.all_of(calls)
+                votes_ok = all(reply["vote"] for reply in replies)
+            except (TimeoutError, NodeCrashed):
+                votes_ok = False
+        decision = bool(votes_ok)
+        if self.trace is not None:
+            self.trace.record(
+                "2pc", self.node.name, txn=txn_id,
+                decision="commit" if decision else "abort",
+            )
+        for participant in participants:
+            self.node.send(participant, DECISION, txn=txn_id, commit=decision)
+        if decision:
+            self.committed += 1
+        else:
+            self.aborted += 1
+        result.set_result(decision)
+        return decision
+
+
+class TwoPhaseParticipant:
+    """Participant side of 2PC, one instance per node.
+
+    ``on_prepare(txn_id) -> bool`` computes the local vote; voting yes puts
+    the transaction *in doubt* until the decision arrives.
+    ``on_decision(txn_id, commit)`` applies the outcome.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        on_prepare: Callable[[Any], bool],
+        on_decision: Callable[[Any, bool], None],
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.node = node
+        self.on_prepare = on_prepare
+        self.on_decision = on_decision
+        self.trace = trace
+        self.in_doubt: Dict[Any, float] = {}
+        node.on(PREPARE, self._on_prepare_msg)
+        node.on(DECISION, self._on_decision_msg)
+
+    def _on_prepare_msg(self, message: Message) -> None:
+        txn_id = message["txn"]
+        vote = bool(self.on_prepare(txn_id))
+        if vote:
+            self.in_doubt[txn_id] = self.node.sim.now
+        self.node.reply(message, vote=vote)
+
+    def _on_decision_msg(self, message: Message) -> None:
+        txn_id = message["txn"]
+        self.in_doubt.pop(txn_id, None)
+        self.on_decision(txn_id, message["commit"])
+
+    def resolve_in_doubt(self, commit: bool = False) -> List[Any]:
+        """Operator intervention: settle all in-doubt transactions.
+
+        The paper (Section 2.1): database protocols "may admit, in some
+        cases, operator intervention to solve abnormal cases ... a way to
+        circumvent blocking".  Returns the transactions resolved.
+        """
+        stuck = list(self.in_doubt)
+        for txn_id in stuck:
+            self.in_doubt.pop(txn_id, None)
+            self.on_decision(txn_id, commit)
+        return stuck
+
+    def blocked_for(self, txn_id: Any) -> Optional[float]:
+        """How long ``txn_id`` has been in doubt, or None."""
+        since = self.in_doubt.get(txn_id)
+        return None if since is None else self.node.sim.now - since
+
+    def __repr__(self) -> str:
+        return f"<TwoPhaseParticipant@{self.node.name} in_doubt={len(self.in_doubt)}>"

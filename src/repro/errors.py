@@ -1,0 +1,68 @@
+"""Exception hierarchy shared across the library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish simulation bugs (:class:`SimulationError`)
+from legitimate protocol outcomes such as transaction aborts
+(:class:`TransactionAborted`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly.
+
+    Raised for programming errors such as scheduling an event in the past,
+    resolving a future twice, or running a simulator that has been stopped.
+    """
+
+
+class ProcessInterrupted(ReproError):
+    """A simulated process was interrupted while waiting.
+
+    Thrown *into* a process generator by :meth:`repro.sim.Process.interrupt`.
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class NodeCrashed(ReproError):
+    """An operation could not proceed because the hosting node crashed."""
+
+
+class NetworkError(ReproError):
+    """A message could not be delivered (partition, drop, unknown address)."""
+
+
+class TransactionAborted(ReproError):
+    """A transaction was aborted.
+
+    This is a *normal* protocol outcome, not a bug: deadlock victims,
+    certification failures, and 2PC "no" votes all surface as aborts.  The
+    ``reason`` attribute records which mechanism aborted the transaction.
+    """
+
+    def __init__(self, txn_id: object, reason: str) -> None:
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class ReplicationError(ReproError):
+    """A replication protocol reached an unrecoverable state."""
+
+
+class ConsistencyViolation(ReproError):
+    """An analysis oracle detected a consistency violation.
+
+    Raised by the one-copy-serializability and linearizability checkers in
+    :mod:`repro.analysis` when a recorded history breaks its criterion.
+    """

@@ -1,0 +1,6 @@
+"""Fault model: crash/partition injection and unreliable failure detection."""
+
+from .detector import FailureDetector
+from .injector import FailureInjector
+
+__all__ = ["FailureDetector", "FailureInjector"]

@@ -1,0 +1,101 @@
+"""Declarative fault injection.
+
+The injector schedules crashes, recoveries, partitions and heals at fixed
+simulated times, so a failure scenario is data (a schedule) rather than
+code sprinkled through a test.  The Section 6 performance-study benchmarks
+("taking into account different workloads and failures assumptions") use it
+to compare protocols under identical fault timelines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..net import Network
+from ..sim import Simulator, TraceLog
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Schedules faults against a network's nodes.
+
+    All methods may be called before or during a run; effects occur at the
+    given absolute simulated times.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, trace: Optional[TraceLog] = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.trace = trace
+        self.planned: List[Tuple[float, str, str]] = []
+
+    def crash_at(self, time: float, node_name: str) -> None:
+        """Crash ``node_name`` at absolute time ``time``."""
+        self.planned.append((time, "crash", node_name))
+        self.sim.schedule_at(time, self._crash, node_name)
+
+    def recover_at(self, time: float, node_name: str) -> None:
+        """Recover ``node_name`` at absolute time ``time``."""
+        self.planned.append((time, "recover", node_name))
+        self.sim.schedule_at(time, self._recover, node_name)
+
+    def partition_at(self, time: float, *groups: Iterable[str]) -> None:
+        """Partition the network into ``groups`` at time ``time``."""
+        label = " | ".join(",".join(sorted(g)) for g in groups)
+        self.planned.append((time, "partition", label))
+        frozen = [list(g) for g in groups]
+        self.sim.schedule_at(time, self._partition, frozen)
+
+    def heal_at(self, time: float) -> None:
+        """Remove any partition at time ``time``."""
+        self.planned.append((time, "heal", ""))
+        self.sim.schedule_at(time, self._heal)
+
+    def random_crashes(
+        self,
+        node_names: List[str],
+        count: int,
+        window: Tuple[float, float],
+        recover_after: Optional[float] = None,
+    ) -> List[Tuple[float, str]]:
+        """Schedule ``count`` crashes of distinct nodes at random times.
+
+        Times are drawn uniformly from ``window`` using the simulator RNG
+        (deterministic under a fixed seed).  Returns the schedule for
+        logging.  If ``recover_after`` is set, each crashed node recovers
+        that long after its crash.
+        """
+        if count > len(node_names):
+            raise ValueError(f"cannot crash {count} of {len(node_names)} nodes")
+        victims = self.sim.rng.sample(node_names, count)
+        schedule = []
+        for victim in victims:
+            when = self.sim.rng.uniform(*window)
+            self.crash_at(when, victim)
+            if recover_after is not None:
+                self.recover_at(when + recover_after, victim)
+            schedule.append((when, victim))
+        return sorted(schedule)
+
+    # -- effect callbacks --------------------------------------------------
+
+    def _crash(self, node_name: str) -> None:
+        if self.trace is not None:
+            self.trace.record("fault", "injector", action="crash", node=node_name)
+        self.network.node(node_name).crash()
+
+    def _recover(self, node_name: str) -> None:
+        if self.trace is not None:
+            self.trace.record("fault", "injector", action="recover", node=node_name)
+        self.network.node(node_name).recover()
+
+    def _partition(self, groups: List[List[str]]) -> None:
+        if self.trace is not None:
+            self.trace.record("fault", "injector", action="partition")
+        self.network.partition(*groups)
+
+    def _heal(self) -> None:
+        if self.trace is not None:
+            self.trace.record("fault", "injector", action="heal")
+        self.network.heal()

@@ -1,0 +1,118 @@
+"""Reliable point-to-point channels (retransmission + deduplication).
+
+The raw :class:`~repro.net.Network` may lose messages.  Quasi-reliable
+channels — "if neither endpoint crashes, every message sent is eventually
+delivered, exactly once, in FIFO order" — are the lowest abstraction the
+paper's group-communication primitives assume.  :class:`ReliableTransport`
+builds them with positive acknowledgements, periodic retransmission and
+receiver-side sequence tracking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..net import Message, Node
+
+__all__ = ["ReliableTransport"]
+
+DATA = "rt.data"
+ACK = "rt.ack"
+
+
+class ReliableTransport:
+    """Per-node reliable-channel endpoint.
+
+    Upper layers register an *upcall* per inner message type with
+    :meth:`on`, and send with :meth:`send`.  Lost messages are retransmitted
+    every ``retry_interval`` until acknowledged; duplicates created by
+    retransmission are suppressed with per-sender sequence numbers, and
+    delivery to the upcall is in per-sender FIFO order.
+
+    One transport instance per node; all reliable upper layers share it.
+    """
+
+    def __init__(self, node: Node, retry_interval: float = 5.0) -> None:
+        self.node = node
+        self.retry_interval = retry_interval
+        self._upcalls: Dict[str, Callable[[str, dict], None]] = {}
+        self._undelivered: Dict[str, list] = {}
+        self._next_seq: Dict[str, int] = {}          # per destination
+        self._unacked: Dict[Tuple[str, int], dict] = {}
+        self._next_expected: Dict[str, int] = {}     # per source
+        self._out_of_order: Dict[str, Dict[int, Message]] = {}
+        node.on(DATA, self._on_data)
+        node.on(ACK, self._on_ack)
+
+    def on(self, inner_type: str, upcall: Callable[[str, dict], None]) -> None:
+        """Register ``upcall(src, payload)`` for reliable messages of a type.
+
+        Messages of a type that arrived before registration are buffered
+        and drained (in arrival order) as soon as the upcall appears; this
+        lets components be created lazily (e.g. one consensus endpoint per
+        group view) without losing early traffic.
+        """
+        if inner_type in self._upcalls:
+            raise ValueError(f"{self.node.name}: duplicate reliable upcall {inner_type!r}")
+        self._upcalls[inner_type] = upcall
+        for src, payload in self._undelivered.pop(inner_type, []):
+            self.node.sim.call_soon(self._upcall, inner_type, src, payload)
+
+    def send(self, dst: str, inner_type: str, **payload: Any) -> None:
+        """Reliably send ``payload`` to ``dst`` (exactly-once, FIFO)."""
+        if dst == self.node.name:
+            # Local delivery short-circuits the network entirely.
+            self.node.sim.call_soon(self._deliver_local, inner_type, payload)
+            return
+        seq = self._next_seq.get(dst, 0)
+        self._next_seq[dst] = seq + 1
+        frame = {"seq": seq, "inner_type": inner_type, "body": payload}
+        self._unacked[(dst, seq)] = frame
+        self._transmit(dst, seq)
+
+    def send_to_group(self, members: list, inner_type: str, **payload: Any) -> None:
+        """Reliable point-to-point send to every member (incl. self)."""
+        for member in members:
+            self.send(member, inner_type, **dict(payload))
+
+    # -- internals ---------------------------------------------------------
+
+    def _deliver_local(self, inner_type: str, payload: dict) -> None:
+        if self.node.crashed:
+            return
+        self._upcall(inner_type, self.node.name, payload)
+
+    def _transmit(self, dst: str, seq: int) -> None:
+        frame = self._unacked.get((dst, seq))
+        if frame is None or self.node.crashed:
+            return
+        self.node.send(dst, DATA, **frame)
+        self.node.after(self.retry_interval, self._transmit, dst, seq)
+
+    def _on_data(self, message: Message) -> None:
+        src = message.src
+        seq = message["seq"]
+        self.node.send(src, ACK, seq=seq)
+        expected = self._next_expected.get(src, 0)
+        if seq < expected:
+            return  # duplicate of an already-delivered frame
+        pending = self._out_of_order.setdefault(src, {})
+        pending[seq] = message
+        while expected in pending:
+            frame = pending.pop(expected)
+            expected += 1
+            self._next_expected[src] = expected
+            self._upcall(frame["inner_type"], src, frame["body"])
+
+    def _on_ack(self, message: Message) -> None:
+        self._unacked.pop((message.src, message["seq"]), None)
+
+    def _upcall(self, inner_type: str, src: str, payload: dict) -> None:
+        upcall = self._upcalls.get(inner_type)
+        if upcall is None:
+            self._undelivered.setdefault(inner_type, []).append((src, payload))
+            return
+        upcall(src, payload)
+
+    def __repr__(self) -> str:
+        return f"<ReliableTransport@{self.node.name} unacked={len(self._unacked)}>"

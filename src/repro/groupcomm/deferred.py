@@ -1,0 +1,65 @@
+"""Consensus with Deferred Initial Values (semi-passive replication).
+
+Section 3.5 of the paper describes semi-passive replication as a variant
+of passive replication in which "the Server Coordination (phase 2) and the
+Agreement Coordination (phase 4) are part of one single coordination
+protocol called Consensus with Deferred Initial Values".
+
+The twist relative to ordinary consensus: a process's initial value is not
+fixed at ``propose`` time.  Instead each process supplies a *thunk*; only
+the coordinator of a round evaluates it — for semi-passive replication the
+thunk *executes the client request* and yields the resulting update.  If
+the first coordinator crashes (or is wrongly suspected), the rotating-
+coordinator mechanism makes the next coordinator execute the request and
+propose its own update.  Thus exactly the processes that act as
+coordinators pay the execution cost, and no view-synchronous membership is
+needed — the property the paper highlights: aggressive suspicion timeouts
+without paying a reconfiguration cost for wrong suspicions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..sim import Future
+from .consensus import Consensus
+
+__all__ = ["DeferredConsensus"]
+
+_UNSET = object()
+
+
+class DeferredConsensus(Consensus):
+    """Chandra–Toueg consensus whose initial values are computed lazily.
+
+    Use :meth:`propose_deferred` instead of :meth:`propose`.  The supplied
+    ``compute`` callback is invoked at most once per process, and only when
+    this process coordinates a round whose estimates are all still unset.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._compute: Dict[Any, Callable[[], Any]] = {}
+        self._computed: Dict[Any, Any] = {}
+
+    def propose_deferred(self, instance: Any, compute: Callable[[], Any]) -> Future:
+        """Participate in ``instance``, computing a value only if needed."""
+        self._compute[instance] = compute
+        return self.propose(instance, _UNSET)
+
+    def _choose_estimate(self, instance: Any, estimates: List[Tuple[int, str, Any]]) -> Any:
+        concrete = [e for e in estimates if e[2] is not _UNSET and e[2] != "__unset__"]
+        if concrete:
+            return super()._choose_estimate(instance, concrete)
+        compute = self._compute.get(instance)
+        if compute is None:
+            # No thunk registered (plain propose with _UNSET is not public
+            # API); fall back to the raw estimates.
+            return super()._choose_estimate(instance, estimates)
+        if instance not in self._computed:
+            self._computed[instance] = compute()
+        return self._computed[instance]
+
+    def executed_locally(self, instance: Any) -> bool:
+        """Whether this process evaluated its thunk (acted as coordinator)."""
+        return instance in self._computed

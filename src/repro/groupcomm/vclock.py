@@ -1,0 +1,74 @@
+"""Vector clocks for causal ordering.
+
+Used by :mod:`repro.groupcomm.causal` to track the happened-before relation
+(Section 2's "causality ... based on potential dependencies") and by tests
+as a stand-alone data structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """A mapping from process name to event count.
+
+    Immutable-style API: operations return new clocks, so clocks can be
+    attached to messages without defensive copying at every layer.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None) -> None:
+        self._counts = dict(counts or {})
+
+    @classmethod
+    def zero(cls, members: Iterable[str]) -> "VectorClock":
+        """An all-zero clock over ``members``."""
+        return cls({member: 0 for member in members})
+
+    def get(self, member: str) -> int:
+        return self._counts.get(member, 0)
+
+    def increment(self, member: str) -> "VectorClock":
+        """A new clock with ``member``'s entry advanced by one."""
+        counts = dict(self._counts)
+        counts[member] = counts.get(member, 0) + 1
+        return VectorClock(counts)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Pointwise maximum of the two clocks."""
+        counts = dict(self._counts)
+        for member, count in other._counts.items():
+            counts[member] = max(counts.get(member, 0), count)
+        return VectorClock(counts)
+
+    # -- comparison (partial order) -----------------------------------------
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return all(count <= other.get(m) for m, count in self._counts.items())
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self != other
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        members = set(self._counts) | set(other._counts)
+        return all(self.get(m) == other.get(m) for m in members)
+
+    def __hash__(self) -> int:
+        return hash(frozenset((m, c) for m, c in self._counts.items() if c))
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """True when neither clock dominates the other."""
+        return not (self <= other) and not (other <= self)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{m}:{c}" for m, c in sorted(self._counts.items()))
+        return f"VC({inner})"

@@ -1,0 +1,24 @@
+"""Simulated network: messages, latency models, fabric and nodes."""
+
+from .latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    PerLinkLatency,
+    UniformLatency,
+)
+from .message import Message
+from .network import Network, NetworkStats
+from .node import Node
+
+__all__ = [
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Node",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "PerLinkLatency",
+]

@@ -1,0 +1,74 @@
+"""Network message representation.
+
+Messages are small typed envelopes: a ``type`` string used for handler
+dispatch plus a free-form payload dictionary.  Protocol layers agree on the
+payload keys for each message type; keeping the payload schemaless avoids a
+combinatorial explosion of dataclasses across the dozen protocols in the
+library while the ``type`` field keeps dispatch explicit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["Message"]
+
+_message_ids = itertools.count(1)
+
+
+class Message:
+    """An envelope travelling between two nodes.
+
+    Attributes
+    ----------
+    msg_id:
+        Globally unique identifier, assigned at construction.
+    src, dst:
+        Names of the sending and receiving nodes.
+    type:
+        Dispatch key, e.g. ``"abcast.deliver"`` or ``"2pc.vote_request"``.
+    payload:
+        Message body.  Accessible via mapping syntax: ``msg["key"]``.
+    send_time:
+        Simulated time at which the message entered the network.
+    reply_to:
+        Correlation id for request/reply exchanges (see ``Node.call``).
+    """
+
+    __slots__ = ("msg_id", "src", "dst", "type", "payload", "send_time", "reply_to")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        type: str,
+        payload: Optional[Dict[str, Any]] = None,
+        send_time: float = 0.0,
+        reply_to: Optional[int] = None,
+    ) -> None:
+        self.msg_id = next(_message_ids)
+        self.src = src
+        self.dst = dst
+        self.type = type
+        self.payload = payload if payload is not None else {}
+        self.send_time = send_time
+        self.reply_to = reply_to
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.payload
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.payload.get(key, default)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self.payload.keys())
+
+    def __repr__(self) -> str:
+        return (
+            f"<Message #{self.msg_id} {self.src}->{self.dst} "
+            f"{self.type} {self.payload!r}>"
+        )

@@ -1,0 +1,216 @@
+"""The simulated network fabric.
+
+The :class:`Network` connects named nodes, delivers messages after a
+latency sampled from a :class:`~repro.net.latency.LatencyModel`, and
+implements the fault model needed by the paper's discussion:
+
+* **Crash-stop nodes** — messages to or from a crashed node vanish.
+* **Partitions** — the node set can be split into groups; cross-group
+  messages are dropped until :meth:`heal` is called.
+* **Message loss** — an optional uniform drop probability, used to test
+  that the reliable channels in :mod:`repro.groupcomm` mask losses.
+* **FIFO links** — by default each directed link delivers in send order
+  (TCP-like), which Section 3.3 of the paper assumes for primary-backup
+  communication.  Set ``fifo=False`` to allow reordering.
+
+The network also keeps per-message-type counters: the message-overhead
+benchmark (Section 6's promised performance study) reads protocol cost
+directly from these.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List, Optional, TYPE_CHECKING
+
+from ..errors import NetworkError, SimulationError
+from ..sim import Simulator, TraceLog
+from .latency import ConstantLatency, LatencyModel
+from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import Node
+
+__all__ = ["Network", "NetworkStats"]
+
+
+class NetworkStats:
+    """Counters describing network usage during a run."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_loss = 0
+        self.dropped_partition = 0
+        self.dropped_crash = 0
+        self.by_type: Counter = Counter()
+
+    def messages_matching(self, prefix: str) -> int:
+        """Total sends whose message type starts with ``prefix``."""
+        return sum(count for mtype, count in self.by_type.items() if mtype.startswith(prefix))
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def __repr__(self) -> str:
+        return (
+            f"<NetworkStats sent={self.sent} delivered={self.delivered} "
+            f"lost={self.dropped_loss} partitioned={self.dropped_partition} "
+            f"crashed={self.dropped_crash}>"
+        )
+
+
+class Network:
+    """Message fabric connecting all nodes of a simulation.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing the clock, RNG and event queue.
+    latency:
+        Latency model for all links; defaults to one time unit per hop.
+    loss_rate:
+        Probability in ``[0, 1)`` that any individual message is silently
+        dropped.  Reliable channels recover from this via retransmission.
+    fifo:
+        When true (default), each directed link is FIFO: a message can
+        never overtake an earlier message on the same link.
+    trace:
+        Optional :class:`TraceLog` receiving a ``message`` event per send.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        fifo: bool = True,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.loss_rate = loss_rate
+        self.fifo = fifo
+        self.trace = trace
+        self.stats = NetworkStats()
+        self._nodes: Dict[str, "Node"] = {}
+        self._partition: Optional[List[FrozenSet[str]]] = None
+        self._last_arrival: Dict[tuple, float] = {}
+
+    # -- membership -----------------------------------------------------------
+
+    def register(self, node: "Node") -> None:
+        """Attach a node; called by the :class:`Node` constructor."""
+        if node.name in self._nodes:
+            raise SimulationError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+
+    def node(self, name: str) -> "Node":
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    # -- partitions ------------------------------------------------------------
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the network into isolated groups.
+
+        Nodes not named in any group form an implicit final group.
+        Messages between different groups are dropped until :meth:`heal`.
+        """
+        named = [frozenset(group) for group in groups]
+        seen = set().union(*named) if named else set()
+        rest = frozenset(name for name in self._nodes if name not in seen)
+        self._partition = named + ([rest] if rest else [])
+
+    def heal(self) -> None:
+        """Remove any active partition."""
+        self._partition = None
+
+    def _same_side(self, a: str, b: str) -> bool:
+        if self._partition is None:
+            return True
+        for group in self._partition:
+            if a in group:
+                return b in group
+        return False  # sender not in any group: isolated
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        type: str,
+        payload: Optional[dict] = None,
+        reply_to: Optional[int] = None,
+    ) -> Message:
+        """Send one message; returns the envelope (delivery not guaranteed)."""
+        message = Message(
+            src=src,
+            dst=dst,
+            type=type,
+            payload=payload,
+            send_time=self.sim.now,
+            reply_to=reply_to,
+        )
+        self.stats.sent += 1
+        self.stats.by_type[type] += 1
+        if self.trace is not None:
+            self.trace.record("message", src, dst=dst, type=type, msg_id=message.msg_id)
+        self._route(message)
+        return message
+
+    def broadcast(
+        self,
+        src: str,
+        dsts: Iterable[str],
+        type: str,
+        payload: Optional[dict] = None,
+    ) -> List[Message]:
+        """Point-to-point send to each destination (no extra semantics)."""
+        return [self.send(src, dst, type, payload=dict(payload or {})) for dst in dsts]
+
+    def _route(self, message: Message) -> None:
+        sender = self._nodes.get(message.src)
+        if sender is not None and sender.crashed:
+            self.stats.dropped_crash += 1
+            return
+        if message.dst not in self._nodes:
+            raise NetworkError(f"unknown destination {message.dst!r}")
+        if not self._same_side(message.src, message.dst):
+            self.stats.dropped_partition += 1
+            return
+        if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
+            self.stats.dropped_loss += 1
+            return
+        delay = self.latency.sample(self.sim.rng, message.src, message.dst)
+        arrival = self.sim.now + delay
+        if self.fifo:
+            link = (message.src, message.dst)
+            arrival = max(arrival, self._last_arrival.get(link, 0.0))
+            self._last_arrival[link] = arrival
+        self.sim.schedule_at(arrival, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes.get(message.dst)
+        if node is None or node.crashed:
+            self.stats.dropped_crash += 1
+            return
+        if not self._same_side(message.src, message.dst):
+            # Partition formed while the message was in flight.
+            self.stats.dropped_partition += 1
+            return
+        self.stats.delivered += 1
+        node._dispatch(message)
+
+    def __repr__(self) -> str:
+        return f"<Network nodes={len(self._nodes)} {self.stats!r}>"

@@ -1,0 +1,215 @@
+"""Node: an addressable process attached to the network.
+
+A node owns message handlers, timers, and simulated processes.  Crashing a
+node atomically silences it: in-flight handlers are interrupted, timers
+cancelled, pending RPCs failed, and the network stops delivering to it.
+This implements the crash-stop model used throughout the paper; database
+nodes additionally keep *durable* state (storage, logs) that survives
+:meth:`Node.recover`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..errors import NodeCrashed, SimulationError
+from ..sim import Future, Process, Simulator, Timer
+from .message import Message
+from .network import Network
+
+__all__ = ["Node"]
+
+REPLY_TYPE = "$reply"
+
+
+class Node:
+    """A named participant in the simulation.
+
+    Subclasses register message handlers with :meth:`on` (usually in their
+    constructor) and use :meth:`send`, :meth:`call` and :meth:`reply` to
+    communicate.  All activity started through :meth:`spawn`, :meth:`after`
+    and :meth:`every` is tracked and torn down on :meth:`crash`.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, name: str) -> None:
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.crashed = False
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self._default_handler: Optional[Callable[[Message], None]] = None
+        self._pending_calls: Dict[int, Future] = {}
+        self._processes: List[Process] = []
+        self._timers: List[Timer] = []
+        self._recover_hooks: List[Callable[[], None]] = []
+        network.register(self)
+
+    # -- handler registration ---------------------------------------------
+
+    def on(self, msg_type: str, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` for messages of ``msg_type``."""
+        if msg_type in self._handlers:
+            raise SimulationError(f"{self.name}: duplicate handler for {msg_type!r}")
+        self._handlers[msg_type] = handler
+
+    def on_default(self, handler: Callable[[Message], None]) -> None:
+        """Register a fallback handler for unmatched message types."""
+        self._default_handler = handler
+
+    # -- communication -------------------------------------------------------
+
+    def send(self, dst: str, msg_type: str, **payload: Any) -> None:
+        """Fire-and-forget message."""
+        if self.crashed:
+            return
+        self.network.send(self.name, dst, msg_type, payload=payload)
+
+    def send_many(self, dsts: List[str], msg_type: str, **payload: Any) -> None:
+        """Point-to-point send of the same payload to several nodes."""
+        for dst in dsts:
+            self.send(dst, msg_type, **payload)
+
+    def call(
+        self,
+        dst: str,
+        msg_type: str,
+        timeout: Optional[float] = None,
+        **payload: Any,
+    ) -> Future:
+        """Request/reply exchange.
+
+        Returns a future that resolves with the reply message.  If
+        ``timeout`` is given and no reply arrives in time, the future fails
+        with :class:`TimeoutError`.  If this node crashes first, the future
+        fails with :class:`NodeCrashed`.
+        """
+        future = self.sim.future(label=f"{self.name}->{dst}:{msg_type}")
+        if self.crashed:
+            future.set_exception(NodeCrashed(f"{self.name} is crashed"))
+            return future
+        message = self.network.send(self.name, dst, msg_type, payload=payload)
+        self._pending_calls[message.msg_id] = future
+
+        def cleanup(_f: Future) -> None:
+            self._pending_calls.pop(message.msg_id, None)
+
+        future.add_callback(cleanup)
+        if timeout is not None:
+            def expire() -> None:
+                if not future.done:
+                    future.set_exception(
+                        TimeoutError(f"{msg_type} to {dst} timed out after {timeout}")
+                    )
+            self.after(timeout, expire)
+        return future
+
+    def reply(self, request: Message, **payload: Any) -> None:
+        """Answer a message previously sent with :meth:`call`."""
+        if self.crashed:
+            return
+        self.network.send(
+            self.name, request.src, REPLY_TYPE, payload=payload, reply_to=request.msg_id
+        )
+
+    # -- dispatch (called by the network) -----------------------------------
+
+    def _dispatch(self, message: Message) -> None:
+        if self.crashed:
+            return
+        if message.type == REPLY_TYPE and message.reply_to is not None:
+            future = self._pending_calls.pop(message.reply_to, None)
+            if future is not None and not future.done:
+                future.set_result(message)
+            return
+        handler = self._handlers.get(message.type, self._default_handler)
+        if handler is None:
+            raise SimulationError(
+                f"{self.name}: no handler for message type {message.type!r}"
+            )
+        handler(message)
+
+    # -- tracked activity -------------------------------------------------------
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a process owned by this node (interrupted on crash)."""
+        process = self.sim.spawn(generator, name=name or f"{self.name}-proc")
+        self._processes.append(process)
+        if len(self._processes) > 64:
+            self._processes = [p for p in self._processes if p.alive]
+        return process
+
+    def after(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule a callback owned by this node (cancelled on crash)."""
+        timer = self.sim.schedule(delay, self._guarded, callback, args)
+        self._timers.append(timer)
+        if len(self._timers) > 64:
+            self._timers = [t for t in self._timers if not t.cancelled]
+        return timer
+
+    def every(self, interval: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` periodically until the node crashes."""
+        def tick() -> None:
+            callback()
+            if not self.crashed:
+                self.after(interval, tick)
+        self.after(interval, tick)
+
+    def _guarded(self, callback: Callable[..., None], args: tuple) -> None:
+        if not self.crashed:
+            callback(*args)
+
+    # -- failure model -----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash-stop this node.
+
+        All owned processes are interrupted with :class:`NodeCrashed`, all
+        timers cancelled, and all pending RPCs failed.  The network drops
+        messages to and from crashed nodes.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for process in self._processes:
+            process.interrupt(NodeCrashed(f"{self.name} crashed"))
+        self._processes.clear()
+        pending, self._pending_calls = self._pending_calls, {}
+        for future in pending.values():
+            if not future.done:
+                future.set_exception(NodeCrashed(f"{self.name} crashed"))
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Restart a crashed node.
+
+        Volatile state is gone; durable state is whatever the subclass
+        preserved.  Subclasses hook :meth:`on_recover` to rebuild volatile
+        structures (e.g. re-acquire no locks, restart heartbeats).
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        for hook in self._recover_hooks:
+            hook()
+        self.on_recover()
+
+    def add_recover_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback run on every :meth:`recover`.
+
+        Components that arm periodic timers (failure detectors, batchers)
+        use this to restart them — crash cancels all timers permanently.
+        """
+        self._recover_hooks.append(hook)
+
+    def on_crash(self) -> None:
+        """Subclass hook invoked after the node crashes."""
+
+    def on_recover(self) -> None:
+        """Subclass hook invoked after the node recovers."""
+
+    def __repr__(self) -> str:
+        state = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} {self.name} {state}>"

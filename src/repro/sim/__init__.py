@@ -1,0 +1,18 @@
+"""Deterministic discrete-event simulation kernel.
+
+See :mod:`repro.sim.core` for the event loop, processes and futures, and
+:mod:`repro.sim.tracing` for structured simulation-time tracing.
+"""
+
+from .core import Future, Process, Simulator, Timeout, Timer
+from .tracing import TraceEvent, TraceLog
+
+__all__ = [
+    "Simulator",
+    "Future",
+    "Process",
+    "Timeout",
+    "Timer",
+    "TraceEvent",
+    "TraceLog",
+]

@@ -1,0 +1,492 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel provides three building blocks used by every other subsystem:
+
+* :class:`Simulator` — the event loop.  Holds a priority queue of timed
+  callbacks, the simulated clock, and a seeded random generator so that
+  every run is exactly reproducible.
+* :class:`Future` — a one-shot container for a value produced later in
+  simulated time.  Processes wait on futures; network deliveries, protocol
+  acknowledgements and timers all resolve them.
+* :class:`Process` — a cooperatively scheduled activity written as a Python
+  generator.  A process ``yield``\\ s *waitables* (futures, timeouts, other
+  processes) and is resumed by the kernel when the waitable completes.
+
+The design deliberately avoids threads: the paper's protocols are expressed
+as message-driven state machines, and a single-threaded simulator keeps
+them deterministic and debuggable while still modelling true concurrency in
+simulated time.
+
+Example
+-------
+>>> sim = Simulator(seed=1)
+>>> def ping(sim):
+...     yield sim.timeout(5.0)
+...     return "pong at %.1f" % sim.now
+>>> proc = sim.spawn(ping(sim))
+>>> sim.run()
+>>> proc.result
+'pong at 5.0'
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from ..errors import ProcessInterrupted, SimulationError
+
+__all__ = [
+    "Simulator",
+    "Future",
+    "Timeout",
+    "Process",
+    "Timer",
+]
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Returned by :meth:`Simulator.schedule`.  Cancelling an already-fired or
+    already-cancelled timer is a harmless no-op, which keeps timeout
+    bookkeeping in protocols simple.
+    """
+
+    __slots__ = ("time", "_callback", "_args", "_cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: tuple) -> None:
+        self.time = time
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if not self._cancelled:
+            self._cancelled = True  # a timer fires at most once
+            self._callback(*self._args)
+
+
+class Future:
+    """A value that becomes available at a later simulated time.
+
+    Futures may be awaited by processes (``value = yield future``) or
+    observed through callbacks.  A future resolves exactly once, either with
+    a result or with an exception; waiting on a failed future re-raises the
+    exception inside the waiting process.
+    """
+
+    __slots__ = ("sim", "_done", "_result", "_exception", "_callbacks", "label")
+
+    def __init__(self, sim: "Simulator", label: str = "") -> None:
+        self.sim = sim
+        self.label = label
+        self._done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        """The resolved value.  Raises if pending or failed."""
+        if not self._done:
+            raise SimulationError(f"future {self.label!r} is not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        if not self._done:
+            raise SimulationError(f"future {self.label!r} is not resolved yet")
+        return self._exception
+
+    @property
+    def failed(self) -> bool:
+        return self._done and self._exception is not None
+
+    # -- resolution ------------------------------------------------------
+
+    def set_result(self, value: Any = None) -> None:
+        """Resolve the future successfully with ``value``."""
+        self._resolve(value, None)
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Resolve the future with a failure."""
+        self._resolve(None, exc)
+
+    def try_set_result(self, value: Any = None) -> bool:
+        """Resolve if still pending; return whether this call resolved it.
+
+        Useful when several events race to complete the same future, e.g.
+        the first reply from a set of replicas.
+        """
+        if self._done:
+            return False
+        self.set_result(value)
+        return True
+
+    def _resolve(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._done:
+            raise SimulationError(f"future {self.label!r} resolved twice")
+        self._done = True
+        self._result = value
+        self._exception = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- observation -----------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Invoke ``callback(self)`` when resolved (immediately if done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self._done:
+            state = "failed" if self._exception is not None else "done"
+        return f"<Future {self.label!r} {state}>"
+
+
+class Timeout:
+    """Waitable that fires after a fixed delay of simulated time.
+
+    Yielded by processes: ``yield Timeout(3.0)`` or, more conveniently,
+    ``yield sim.timeout(3.0)``.  Resumes the process with ``value``.
+    """
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        self.delay = delay
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay!r})"
+
+
+class Process(Future):
+    """A generator-based simulated activity.
+
+    A process is also a :class:`Future`: it resolves with the generator's
+    return value, so processes can be joined by yielding them from other
+    processes.  Processes can be interrupted, which raises
+    :class:`~repro.errors.ProcessInterrupted` at their current yield point;
+    this is how node crashes tear down in-flight protocol handlers.
+    """
+
+    __slots__ = ("name", "_generator", "_waiting_on", "_interrupt_pending")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        super().__init__(sim, label=name or "process")
+        self.name = name or f"proc-{id(generator):x}"
+        self._generator = generator
+        self._waiting_on: Optional[Future] = None
+        self._interrupt_pending: Optional[BaseException] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return not self.done
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`ProcessInterrupted` into the process.
+
+        The interrupt is delivered at the process's current (or next) yield
+        point.  Interrupting a finished process is a no-op.
+        """
+        if self.done:
+            return
+        exc = cause if isinstance(cause, BaseException) else ProcessInterrupted(cause)
+        if self._waiting_on is not None:
+            self._waiting_on = None
+            self.sim._schedule_now(self._step_throw, exc)
+        else:
+            # Not yet started or currently being stepped: deliver at the
+            # next resumption.
+            self._interrupt_pending = exc
+
+    # -- kernel internals --------------------------------------------------
+
+    def _start(self) -> None:
+        self._step_send(None)
+
+    def _step_send(self, value: Any) -> None:
+        if self.done:
+            return
+        if self._interrupt_pending is not None:
+            exc, self._interrupt_pending = self._interrupt_pending, None
+            self._step_throw(exc)
+            return
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self.set_result(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into future
+            self.set_exception(exc)
+            return
+        self._wait_on(yielded)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        if self.done:
+            return
+        try:
+            yielded = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.set_result(stop.value)
+            return
+        except BaseException as raised:  # noqa: BLE001
+            self.set_exception(raised)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            future = self.sim._timeout_future(yielded.delay, yielded.value)
+        elif isinstance(yielded, Future):
+            future = yielded
+        else:
+            self._step_throw(
+                SimulationError(
+                    f"process {self.name!r} yielded {yielded!r}; expected a "
+                    "Future, Process or Timeout"
+                )
+            )
+            return
+        self._waiting_on = future
+        future.add_callback(self._on_waited)
+
+    def _on_waited(self, future: Future) -> None:
+        if self._waiting_on is not future:
+            return  # interrupted while waiting; resumption already queued
+        self._waiting_on = None
+        if future._exception is not None:
+            self._step_throw(future._exception)
+        else:
+            self._step_send(future._result)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else ("failed" if self.failed else "done")
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """Single-threaded deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned :class:`random.Random`.  All random
+        choices in the library (latencies, workload generation, protocol
+        tie-breaking) draw from ``sim.rng`` or generators derived from it,
+        so identical seeds yield identical executions.
+    """
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self._now = 0.0
+        self._queue: List[tuple] = []
+        self._sequence = 0
+        self._stopped = False
+        self.rng = random.Random(seed)
+        self.seed = seed
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Run ``callback(*args)`` after ``delay`` units of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Run ``callback(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        timer = Timer(time, callback, args)
+        self._sequence += 1
+        heapq.heappush(self._queue, (time, self._sequence, timer))
+        return timer
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> Timer:
+        """Run ``callback(*args)`` at the current time, after pending events."""
+        return self.schedule_at(self._now, callback, *args)
+
+    # Kept as an internal alias; kernel code predates the public name.
+    _schedule_now = call_soon
+
+    # -- processes and waitables ---------------------------------------------
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator`` and return its handle."""
+        if not isinstance(generator, Generator):
+            raise SimulationError(
+                f"spawn expects a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?"
+            )
+        process = Process(self, generator, name=name)
+        self._schedule_now(process._start)
+        return process
+
+    def future(self, label: str = "") -> Future:
+        """Create a fresh unresolved future."""
+        return Future(self, label=label)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Waitable firing after ``delay``; sugar for ``Timeout(delay)``."""
+        return Timeout(delay, value)
+
+    def _timeout_future(self, delay: float, value: Any = None) -> Future:
+        future = Future(self, label=f"timeout({delay})")
+        self.schedule(delay, future.set_result, value)
+        return future
+
+    def any_of(self, waitables: Iterable[Any], label: str = "any_of") -> Future:
+        """Future resolving with ``(index, value)`` of the first completion.
+
+        Failures propagate: if the first waitable to finish failed, the
+        combined future fails with the same exception.  Late completions of
+        the other waitables are ignored.
+        """
+        combined = Future(self, label=label)
+        for index, waitable in enumerate(self._as_futures(waitables)):
+
+            def on_done(future: Future, index: int = index) -> None:
+                if combined.done:
+                    return
+                if future._exception is not None:
+                    combined.set_exception(future._exception)
+                else:
+                    combined.set_result((index, future._result))
+
+            waitable.add_callback(on_done)
+        return combined
+
+    def all_of(self, waitables: Iterable[Any], label: str = "all_of") -> Future:
+        """Future resolving with the list of all results, in input order.
+
+        Fails fast: the first failure resolves the combined future with
+        that exception.
+        """
+        futures = self._as_futures(waitables)
+        combined = Future(self, label=label)
+        if not futures:
+            self._schedule_now(combined.set_result, [])
+            return combined
+        remaining = [len(futures)]
+        results: List[Any] = [None] * len(futures)
+
+        def on_done(future: Future, index: int) -> None:
+            if combined.done:
+                return
+            if future._exception is not None:
+                combined.set_exception(future._exception)
+                return
+            results[index] = future._result
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                combined.set_result(results)
+
+        for index, future in enumerate(futures):
+            future.add_callback(lambda f, i=index: on_done(f, i))
+        return combined
+
+    def _as_futures(self, waitables: Iterable[Any]) -> List[Future]:
+        futures = []
+        for waitable in waitables:
+            if isinstance(waitable, Timeout):
+                futures.append(self._timeout_future(waitable.delay, waitable.value))
+            elif isinstance(waitable, Future):
+                futures.append(waitable)
+            else:
+                raise SimulationError(f"not a waitable: {waitable!r}")
+        return futures
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._queue:
+            time, _seq, timer = heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            self._now = time
+            timer._fire()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Run until the event queue drains or ``until`` is reached.
+
+        ``max_events`` guards against runaway protocols in tests: exceeding
+        it raises :class:`SimulationError` instead of hanging.
+        """
+        events = 0
+        while self._queue and not self._stopped:
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            if not self.step():
+                break
+            events += 1
+            if events > max_events:
+                raise SimulationError(f"exceeded {max_events} events; likely livelock")
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_done(self, future: Future, max_events: int = 10_000_000) -> Any:
+        """Run the simulation until ``future`` resolves; return its result."""
+        events = 0
+        while not future.done:
+            if not self.step():
+                raise SimulationError(
+                    f"event queue drained before {future!r} resolved"
+                )
+            events += 1
+            if events > max_events:
+                raise SimulationError(f"exceeded {max_events} events; likely livelock")
+        return future.result
+
+    def stop(self) -> None:
+        """Make :meth:`run` return after the current event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (possibly cancelled) events; for diagnostics."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"<Simulator now={self._now:.3f} pending={len(self._queue)}>"

@@ -1,0 +1,111 @@
+"""Simulation-time structured tracing.
+
+A :class:`TraceLog` records timestamped, categorised events during a run.
+It is the backbone of the paper-figure reproduction: replication protocols
+emit phase-transition records into a trace, and the figure benchmarks
+render and validate those records against the paper's diagrams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped record.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the event was recorded.
+    category:
+        Free-form grouping key, e.g. ``"phase"``, ``"message"``, ``"crash"``.
+    source:
+        Identifier of the component that recorded the event (node name,
+        protocol name, ...).
+    data:
+        Arbitrary payload describing the event.
+    """
+
+    time: float
+    category: str
+    source: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}={v!r}" for k, v in sorted(self.data.items()))
+        return f"[{self.time:9.3f}] {self.category}/{self.source}: {items}"
+
+
+class TraceLog:
+    """Append-only log of :class:`TraceEvent` records with query helpers."""
+
+    def __init__(self, sim: Any = None) -> None:
+        self._sim = sim
+        self._events: List[TraceEvent] = []
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+
+    def record(self, category: str, source: str, **data: Any) -> TraceEvent:
+        """Append an event stamped with the current simulated time."""
+        time = self._sim.now if self._sim is not None else 0.0
+        event = TraceEvent(time=time, category=category, source=source, data=data)
+        self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``callback`` for every subsequently recorded event."""
+        self._subscribers.append(callback)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All recorded events in insertion (time) order, as a copy."""
+        return list(self._events)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        source: Optional[str] = None,
+        **data_filters: Any,
+    ) -> List[TraceEvent]:
+        """Events matching all given filters.
+
+        ``data_filters`` match against the event payload: an event is kept
+        only if ``event.data[key] == value`` for every filter.
+        """
+        matches = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if source is not None and event.source != source:
+                continue
+            if any(event.data.get(k) != v for k, v in data_filters.items()):
+                continue
+            matches.append(event)
+        return matches
+
+    def count(self, category: Optional[str] = None, **data_filters: Any) -> int:
+        """Number of events matching the filters."""
+        return len(self.select(category=category, **data_filters))
+
+    def clear(self) -> None:
+        """Discard all recorded events (subscribers are kept)."""
+        self._events.clear()
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of the trace, newest last."""
+        events = self._events if limit is None else self._events[-limit:]
+        return "\n".join(repr(event) for event in events)

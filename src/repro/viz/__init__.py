@@ -1,0 +1,5 @@
+"""Text renderings of the paper's figures from live traces."""
+
+from .timeline import render_figure, render_phase_timeline
+
+__all__ = ["render_phase_timeline", "render_figure"]

@@ -1,0 +1,79 @@
+"""ASCII rendering of phase timelines, in the style of the paper's figures.
+
+Each protocol figure in the paper (2-4, 7-14) is a swim-lane diagram:
+client and replicas as horizontal lanes, phases as labelled spans.  This
+module renders the same picture from a recorded :class:`PhaseTracer`
+trace, so the benchmark for figure N literally prints figure N as
+observed in execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim import TraceLog
+
+__all__ = ["render_phase_timeline", "render_figure"]
+
+
+def render_phase_timeline(
+    trace: TraceLog,
+    request_id: object,
+    lanes: Sequence[str],
+    width: int = 72,
+) -> str:
+    """Swim-lane view of one request's phases across the given lanes."""
+    events = [
+        event for event in trace.select(category="phase", request=request_id)
+        if event.source in lanes
+    ]
+    if not events:
+        return "(no phase events recorded)"
+    t0 = min(event.time for event in events)
+    t1 = max(event.time for event in events)
+    span = max(t1 - t0, 1e-9)
+    label_width = max(len(lane) for lane in lanes) + 2
+    usable = max(width - label_width, 20)
+
+    def column(time: float) -> int:
+        return min(usable - 1, int((time - t0) / span * (usable - 1)))
+
+    lines = []
+    header = " " * label_width + f"t={t0:.1f}" + " " * max(usable - 12, 1) + f"t={t1:.1f}"
+    lines.append(header)
+    for lane in lanes:
+        row: List[str] = [" "] * (usable + 16)
+        cursor = 0  # next free column, so simultaneous events don't overlap
+        for event in events:
+            if event.source != lane:
+                continue
+            col = max(column(event.time), cursor)
+            tag = event.data["phase"]
+            for offset, char in enumerate(tag):
+                if col + offset < len(row):
+                    row[col + offset] = char
+            cursor = col + len(tag) + 1
+        lines.append(lane.ljust(label_width) + "".join(row).rstrip())
+    mechanisms = {
+        event.data["phase"]: event.data.get("mechanism", "")
+        for event in events
+        if event.data.get("mechanism")
+    }
+    if mechanisms:
+        legend = ", ".join(f"{phase}={mech}" for phase, mech in sorted(mechanisms.items()))
+        lines.append(f"{'':{label_width}}[{legend}]")
+    return "\n".join(lines)
+
+
+def render_figure(
+    title: str,
+    descriptor_line: str,
+    timeline: str,
+    notes: Optional[List[str]] = None,
+) -> str:
+    """Compose a full paper-figure reproduction block for printing."""
+    bar = "=" * max(len(title), 40)
+    parts = [bar, title, bar, f"declared: {descriptor_line}", "", timeline]
+    for note in notes or []:
+        parts.append(f"  note: {note}")
+    return "\n".join(parts)

@@ -1,0 +1,25 @@
+"""Workload generation and closed-loop driving."""
+
+from .driver import ClosedLoopDriver, run_workload
+from .generator import WorkloadGenerator, WorkloadSpec
+from .scenarios import (
+    SCENARIOS,
+    bank_transfer,
+    hotspot,
+    read_mostly,
+    uniform_updates,
+    zipf_updates,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "ClosedLoopDriver",
+    "run_workload",
+    "SCENARIOS",
+    "uniform_updates",
+    "read_mostly",
+    "hotspot",
+    "zipf_updates",
+    "bank_transfer",
+]

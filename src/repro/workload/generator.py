@@ -1,0 +1,102 @@
+"""Workload generation.
+
+Parameterises the "different workloads" axis of the performance study the
+paper announces in Section 6: read/write mix, transaction size, data-set
+size and access skew (hot spots drive conflict rates, which is what
+separates locking from certification behaviour).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.operations import Operation
+
+__all__ = ["WorkloadSpec", "WorkloadGenerator"]
+
+_unique_values = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a synthetic workload.
+
+    ``hot_fraction``/``hot_access_probability`` implement a simple two-
+    level skew: a ``hot_fraction`` of the items receives
+    ``hot_access_probability`` of the accesses.  ``zipf_s > 0`` switches
+    to a Zipf-ranked distribution instead.
+    """
+
+    items: int = 20
+    read_fraction: float = 0.5
+    ops_per_transaction: int = 1
+    update_func: str = "add"
+    update_argument: int = 1
+    hot_fraction: float = 0.0
+    hot_access_probability: float = 0.0
+    zipf_s: float = 0.0
+    item_prefix: str = "item"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.read_fraction <= 1:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.items < 1 or self.ops_per_transaction < 1:
+            raise ValueError("items and ops_per_transaction must be >= 1")
+
+
+class WorkloadGenerator:
+    """Draws transactions matching a :class:`WorkloadSpec`.
+
+    Deterministic given the seed/rng, so two techniques benchmarked with
+    the same seed see byte-identical workloads.
+    """
+
+    def __init__(self, spec: WorkloadSpec, rng: Optional[random.Random] = None,
+                 seed: int = 0) -> None:
+        self.spec = spec
+        self.rng = rng if rng is not None else random.Random(seed)
+        self._names = [f"{spec.item_prefix}{i}" for i in range(spec.items)]
+        if spec.zipf_s > 0:
+            weights = [1.0 / (rank ** spec.zipf_s) for rank in range(1, spec.items + 1)]
+            total = sum(weights)
+            self._weights: Optional[List[float]] = [w / total for w in weights]
+        else:
+            self._weights = None
+
+    # -- item selection ---------------------------------------------------
+
+    def pick_item(self) -> str:
+        spec = self.spec
+        if self._weights is not None:
+            return self.rng.choices(self._names, weights=self._weights, k=1)[0]
+        if spec.hot_fraction > 0 and self.rng.random() < spec.hot_access_probability:
+            hot_count = max(1, int(spec.items * spec.hot_fraction))
+            return self._names[self.rng.randrange(hot_count)]
+        return self._names[self.rng.randrange(spec.items)]
+
+    # -- transaction drawing -------------------------------------------------
+
+    def next_transaction(self) -> List[Operation]:
+        """One transaction: ``ops_per_transaction`` operations."""
+        ops = []
+        for _ in range(self.spec.ops_per_transaction):
+            item = self.pick_item()
+            if self.rng.random() < self.spec.read_fraction:
+                ops.append(Operation.read(item))
+            else:
+                ops.append(self._update(item))
+        return ops
+
+    def next_update_transaction(self) -> List[Operation]:
+        """A transaction of updates only (used by convergence oracles)."""
+        return [self._update(self.pick_item()) for _ in range(self.spec.ops_per_transaction)]
+
+    def unique_write(self, item: Optional[str] = None) -> Operation:
+        """A blind write with a globally unique value (traceable oracle)."""
+        return Operation.write(item or self.pick_item(), f"v{next(_unique_values)}")
+
+    def _update(self, item: str) -> Operation:
+        return Operation.update(item, self.spec.update_func, self.spec.update_argument)

@@ -1,0 +1,59 @@
+"""Shared test fixtures: prewired groups of nodes with the full stack."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.failures import FailureDetector
+from repro.net import ConstantLatency, Network, Node, UniformLatency
+from repro.groupcomm import ReliableTransport
+from repro.sim import Simulator, TraceLog
+
+
+class GroupHarness:
+    """N plain nodes wired with reliable transports and failure detectors.
+
+    Tests attach whatever group-communication layer they exercise on top,
+    via the per-node ``transports`` and ``detectors`` maps.  Each node also
+    gets a ``delivered`` list that layer upcalls can append to.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        seed: int = 1,
+        loss_rate: float = 0.0,
+        jitter: bool = False,
+        fd_interval: float = 2.0,
+        fd_timeout: float = 8.0,
+        retry_interval: float = 5.0,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.trace = TraceLog(self.sim)
+        latency = UniformLatency(0.5, 1.5) if jitter else ConstantLatency(1.0)
+        self.net = Network(self.sim, latency=latency, loss_rate=loss_rate)
+        self.names: List[str] = [f"n{i}" for i in range(n)]
+        self.nodes: Dict[str, Node] = {}
+        self.transports: Dict[str, ReliableTransport] = {}
+        self.detectors: Dict[str, FailureDetector] = {}
+        self.delivered: Dict[str, list] = {}
+        for name in self.names:
+            node = Node(self.sim, self.net, name)
+            self.nodes[name] = node
+            self.transports[name] = ReliableTransport(node, retry_interval=retry_interval)
+            self.detectors[name] = FailureDetector(
+                node, self.names, interval=fd_interval, timeout=fd_timeout
+            )
+            self.delivered[name] = []
+
+    def sink(self, name: str):
+        """An upcall recording ``(origin, mtype, body)`` deliveries."""
+        def deliver(origin: str, mtype: str, body: dict) -> None:
+            self.delivered[name].append((origin, mtype, body))
+        return deliver
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def alive(self) -> List[str]:
+        return [n for n in self.names if not self.nodes[n].crashed]

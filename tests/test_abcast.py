@@ -1,0 +1,127 @@
+"""Tests for atomic broadcast: total order, atomicity, crash tolerance."""
+
+from helpers import GroupHarness
+
+from repro.groupcomm import ConsensusAtomicBroadcast, SequencerAtomicBroadcast
+
+
+def attach_seq(h):
+    return {
+        name: SequencerAtomicBroadcast(
+            h.nodes[name], h.transports[name], h.names, h.sink(name)
+        )
+        for name in h.names
+    }
+
+
+def attach_ct(h):
+    return {
+        name: ConsensusAtomicBroadcast(
+            h.nodes[name], h.transports[name], h.names, h.detectors[name], h.sink(name)
+        )
+        for name in h.names
+    }
+
+
+def orders(h, members=None):
+    members = members if members is not None else h.names
+    return {name: [b["tag"] for _, _, b in h.delivered[name]] for name in members}
+
+
+def assert_total_order(order_by_member):
+    sequences = list(order_by_member.values())
+    reference = max(sequences, key=len)
+    for name, sequence in order_by_member.items():
+        assert sequence == reference[: len(sequence)], (
+            f"{name} diverges: {sequence} vs {reference}"
+        )
+
+
+class TestSequencerAbcast:
+    def test_same_total_order_everywhere(self):
+        h = GroupHarness(4, jitter=True, seed=21)
+        ab = attach_seq(h)
+        for i in range(8):
+            ab[h.names[i % 4]].abcast("op", tag=i)
+        h.run(until=1000)
+        got = orders(h)
+        assert_total_order(got)
+        assert sorted(got["n0"]) == list(range(8))
+
+    def test_sender_delivers_its_own_message(self):
+        h = GroupHarness(3)
+        ab = attach_seq(h)
+        ab["n2"].abcast("op", tag="x")
+        h.run(until=100)
+        assert [b["tag"] for _, _, b in h.delivered["n2"]] == ["x"]
+
+    def test_concurrent_bursts_still_ordered(self):
+        h = GroupHarness(5, jitter=True, seed=33)
+        ab = attach_seq(h)
+        for i in range(5):
+            for name in h.names:
+                ab[name].abcast("op", tag=f"{name}/{i}")
+        h.run(until=2000)
+        got = orders(h)
+        assert_total_order(got)
+        assert len(got["n0"]) == 25
+
+    def test_two_hops_cheaper_than_consensus(self):
+        h1 = GroupHarness(3)
+        attach_seq(h1)["n1"].abcast("op", tag=0)
+        h1.run(until=200)
+        seq_msgs = h1.net.stats.by_type["rt.data"]
+
+        h2 = GroupHarness(3)
+        attach_ct(h2)["n1"].abcast("op", tag=0)
+        h2.run(until=200)
+        ct_msgs = h2.net.stats.by_type["rt.data"]
+        assert seq_msgs < ct_msgs
+
+
+class TestConsensusAbcast:
+    def test_same_total_order_everywhere(self):
+        h = GroupHarness(3, jitter=True, seed=5)
+        ab = attach_ct(h)
+        for i in range(6):
+            ab[h.names[i % 3]].abcast("op", tag=i)
+        h.run(until=3000)
+        got = orders(h)
+        assert_total_order(got)
+        assert sorted(got["n0"]) == list(range(6))
+
+    def test_order_survives_member_crash(self):
+        h = GroupHarness(5, fd_interval=2.0, fd_timeout=6.0, seed=7)
+        ab = attach_ct(h)
+        for i in range(4):
+            ab[h.names[i]].abcast("op", tag=i)
+        h.sim.schedule(0.5, h.nodes["n0"].crash)
+        for i in range(4, 8):
+            h.sim.schedule(30.0 + i, lambda i=i: ab[h.names[1 + i % 4]].abcast("op", tag=i))
+        h.run(until=8000)
+        survivors = h.names[1:]
+        got = orders(h, survivors)
+        assert_total_order(got)
+        longest = max(got.values(), key=len)
+        assert set(range(4, 8)) <= set(longest), "post-crash messages must be delivered"
+
+    def test_atomicity_sender_crash_is_all_or_nothing(self):
+        for seed in range(5):
+            h = GroupHarness(4, seed=seed, loss_rate=0.2, fd_interval=2.0,
+                             fd_timeout=8.0, retry_interval=2.0)
+            ab = attach_ct(h)
+            ab["n0"].abcast("op", tag="doomed")
+            h.sim.schedule(0.1, h.nodes["n0"].crash)
+            h.run(until=5000)
+            counts = {len(h.delivered[name]) for name in h.names[1:]}
+            assert len(counts) == 1, f"seed {seed}: non-uniform delivery"
+
+    def test_stream_under_wrong_suspicions_keeps_total_order(self):
+        h = GroupHarness(3, jitter=True, seed=17, fd_interval=1.0, fd_timeout=1.5)
+        ab = attach_ct(h)
+        for i in range(10):
+            h.sim.schedule(i * 5.0, lambda i=i: ab[h.names[i % 3]].abcast("op", tag=i))
+        h.run(until=10000)
+        got = orders(h)
+        assert_total_order(got)
+        assert len(max(got.values(), key=len)) == 10

@@ -1,0 +1,212 @@
+"""Unit tests for the consistency oracles and metrics."""
+
+import pytest
+
+from repro.analysis import (
+    History,
+    Invocation,
+    LatencyStats,
+    check_linearizable,
+    check_one_copy_serializable,
+    counter_check,
+    expected_counters,
+    history_from_results,
+    messages_per_request,
+    serialization_graph,
+    summarize,
+)
+from repro.core.operations import Operation, Result
+from repro.db import DataStore
+from repro.errors import ConsistencyViolation
+from repro.net import NetworkStats
+
+
+def inv(kind, item, start, end, output=None, argument=None, func="set", rid=None):
+    return Invocation(
+        request_id=rid or f"{kind}-{item}-{start}",
+        kind=kind,
+        item=item,
+        argument=argument,
+        func=func,
+        output=output,
+        start=start,
+        end=end,
+    )
+
+
+class TestLinearizability:
+    def test_empty_history_is_linearizable(self):
+        assert check_linearizable(History([])).ok
+
+    def test_sequential_write_then_read(self):
+        history = History([
+            inv("write", "x", 0, 1, argument=5),
+            inv("read", "x", 2, 3, output=5),
+        ])
+        assert check_linearizable(history).ok
+
+    def test_read_of_never_written_value_fails(self):
+        history = History([
+            inv("write", "x", 0, 1, argument=5),
+            inv("read", "x", 2, 3, output=99),
+        ])
+        assert not check_linearizable(history).ok
+
+    def test_stale_read_after_write_completes_fails(self):
+        # write finished at t=1, read started at t=2 but returned the old
+        # value: a real-time violation.
+        history = History([
+            inv("write", "x", 0, 1, argument="new"),
+            inv("read", "x", 2, 3, output=None),
+        ])
+        assert not check_linearizable(history, initial=None).ok
+
+    def test_concurrent_read_may_see_either_value(self):
+        history = History([
+            inv("write", "x", 0, 10, argument="new"),
+            inv("read", "x", 1, 2, output=None),   # overlaps the write
+        ])
+        assert check_linearizable(history, initial=None).ok
+
+    def test_counter_semantics_constrain_order(self):
+        history = History([
+            inv("update", "x", 0, 5, output=1, argument=1, func="add", rid="a"),
+            inv("update", "x", 0, 5, output=2, argument=1, func="add", rid="b"),
+            inv("read", "x", 6, 7, output=2),
+        ])
+        assert check_linearizable(history, initial=None).ok
+
+    def test_duplicate_increment_outputs_fail(self):
+        # Two increments both returning 1 cannot be linearized.
+        history = History([
+            inv("update", "x", 0, 5, output=1, argument=1, func="add", rid="a"),
+            inv("update", "x", 0, 5, output=1, argument=1, func="add", rid="b"),
+        ])
+        assert not check_linearizable(history, initial=None).ok
+
+    def test_items_checked_independently(self):
+        history = History([
+            inv("write", "x", 0, 1, argument=1),
+            inv("write", "y", 0, 1, argument=2),
+            inv("read", "x", 2, 3, output=1),
+            inv("read", "y", 2, 3, output=2),
+        ])
+        assert check_linearizable(history).ok
+
+
+def result(ops_values, rid, committed=True, start=0.0, end=1.0):
+    operations = tuple(op for op, _v in ops_values)
+    values = [v for _op, v in ops_values]
+    return Result(
+        request_id=rid, committed=committed, values=values,
+        submitted_at=start, completed_at=end, operations=operations,
+    )
+
+
+class TestCounterCheck:
+    def test_matching_counters_pass(self):
+        results = [
+            result([(Operation.update("x", "add", 5), 5)], "t1"),
+            result([(Operation.update("x", "add", 3), 8)], "t2"),
+        ]
+        store = DataStore()
+        store.write("x", 8)
+        assert counter_check(results, {"r0": store}, strict=False) == []
+
+    def test_lost_update_detected(self):
+        results = [
+            result([(Operation.update("x", "add", 5), 5)], "t1"),
+            result([(Operation.update("x", "add", 3), 3)], "t2"),
+        ]
+        store = DataStore()
+        store.write("x", 5)  # t2's increment was lost
+        violations = counter_check(results, {"r0": store}, strict=False)
+        assert len(violations) == 1
+        with pytest.raises(ConsistencyViolation):
+            counter_check(results, {"r0": store}, strict=True)
+
+    def test_aborted_transactions_do_not_count(self):
+        results = [
+            result([(Operation.update("x", "add", 5), 5)], "t1"),
+            result([(Operation.update("x", "add", 100), None)], "t2", committed=False),
+        ]
+        assert expected_counters(results) == {"x": 5}
+
+    def test_non_add_workload_rejected(self):
+        results = [result([(Operation.write("x", 1), None)], "t1")]
+        with pytest.raises(ValueError):
+            expected_counters(results)
+
+
+class TestSerializationGraph:
+    def test_chain_of_increments_is_acyclic(self):
+        results = [
+            result([(Operation.update("x", "add", 1), 1)], "t1"),
+            result([(Operation.update("x", "add", 1), 2)], "t2"),
+            result([(Operation.update("x", "add", 1), 3)], "t3"),
+        ]
+        graph = serialization_graph(results)
+        assert graph["t1"] == {"t2"} and graph["t2"] == {"t3"}
+        assert check_one_copy_serializable(results, strict=False) is None
+
+    def test_cycle_detected(self):
+        # t1 read t2's write and t2 read t1's write: impossible serially.
+        results = [
+            result([
+                (Operation.read("x"), "B"), (Operation.write("y", "A"), None),
+            ], "t1"),
+            result([
+                (Operation.read("y"), "A"), (Operation.write("x", "B"), None),
+            ], "t2"),
+        ]
+        cycle = check_one_copy_serializable(results, strict=False)
+        assert cycle is not None
+        with pytest.raises(ConsistencyViolation):
+            check_one_copy_serializable(results)
+
+    def test_duplicate_write_values_rejected(self):
+        results = [
+            result([(Operation.write("x", "same"), None)], "t1"),
+            result([(Operation.write("x", "same"), None)], "t2"),
+        ]
+        with pytest.raises(ValueError):
+            serialization_graph(results)
+
+
+class TestMetrics:
+    def test_latency_stats_percentiles(self):
+        stats = LatencyStats.of([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert stats.count == 5
+        assert stats.p50 == 3.0
+        assert stats.maximum == 100.0
+
+    def test_latency_stats_empty(self):
+        stats = LatencyStats.of([])
+        assert stats.count == 0 and stats.mean == 0.0
+
+    def test_summarize_counts_and_rates(self):
+        results = [
+            result([(Operation.read("x"), 1)], "a", start=0, end=2),
+            result([(Operation.read("x"), 1)], "b", start=1, end=5),
+            result([(Operation.read("x"), None)], "c", committed=False, start=2, end=3),
+        ]
+        summary = summarize(results)
+        assert summary.requests == 3
+        assert summary.committed == 2
+        assert summary.abort_rate == pytest.approx(1 / 3)
+        assert summary.duration == 5.0
+
+    def test_messages_per_request_excludes_heartbeats(self):
+        stats = NetworkStats()
+        stats.sent = 100
+        stats.by_type["fd.heartbeat"] = 60
+        stats.by_type["rt.data"] = 40
+        assert messages_per_request(stats, 10) == 4.0
+
+    def test_history_from_results_skips_multi_op(self):
+        results = [
+            result([(Operation.read("x"), 1)], "single"),
+            result([(Operation.read("x"), 1), (Operation.read("y"), 2)], "multi"),
+        ]
+        history = history_from_results(results)
+        assert len(history) == 1

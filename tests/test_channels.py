@@ -1,0 +1,85 @@
+"""Unit tests for reliable point-to-point channels."""
+
+from helpers import GroupHarness
+
+
+def received(harness, name):
+    return harness.delivered[name]
+
+
+def wire(harness, inner_type="app"):
+    for name in harness.names:
+        harness.transports[name].on(inner_type, lambda src, p, n=name: harness.delivered[n].append((src, p)))
+
+
+class TestReliableTransport:
+    def test_basic_delivery(self):
+        h = GroupHarness(2)
+        wire(h)
+        h.transports["n0"].send("n1", "app", text="hello")
+        h.run(until=50)
+        assert received(h, "n1") == [("n0", {"text": "hello"})]
+
+    def test_self_send_delivers_locally(self):
+        h = GroupHarness(1)
+        wire(h)
+        h.transports["n0"].send("n0", "app", x=1)
+        h.run(until=10)
+        assert received(h, "n0") == [("n0", {"x": 1})]
+
+    def test_exactly_once_under_heavy_loss(self):
+        h = GroupHarness(2, seed=5, loss_rate=0.4)
+        wire(h)
+        for i in range(30):
+            h.transports["n0"].send("n1", "app", seq=i)
+        h.run(until=2000)
+        seqs = [p["seq"] for _, p in received(h, "n1")]
+        assert seqs == list(range(30)), "loss must be masked, order preserved, no dupes"
+
+    def test_fifo_across_interleaved_sends(self):
+        h = GroupHarness(3, jitter=True, seed=9)
+        wire(h)
+        for i in range(10):
+            h.transports["n0"].send("n2", "app", tag=("a", i))
+            h.transports["n1"].send("n2", "app", tag=("b", i))
+        h.run(until=500)
+        tags = [p["tag"] for _, p in received(h, "n2")]
+        a_tags = [t for t in tags if t[0] == "a"]
+        b_tags = [t for t in tags if t[0] == "b"]
+        assert a_tags == [("a", i) for i in range(10)]
+        assert b_tags == [("b", i) for i in range(10)]
+
+    def test_send_to_group_reaches_everyone(self):
+        h = GroupHarness(4)
+        wire(h)
+        h.transports["n0"].send_to_group(h.names, "app", v=7)
+        h.run(until=50)
+        for name in h.names:
+            assert received(h, name) == [("n0", {"v": 7})]
+
+    def test_retransmission_stops_after_ack(self):
+        h = GroupHarness(2, retry_interval=3.0)
+        wire(h)
+        h.transports["n0"].send("n1", "app", x=1)
+        h.run(until=500)
+        # One data frame (no losses) and no endless retransmission storm:
+        # each retransmit would be another rt.data send.
+        data_frames = h.net.stats.by_type["rt.data"]
+        assert data_frames <= 3
+
+    def test_buffering_before_upcall_registration(self):
+        h = GroupHarness(2)
+        h.transports["n0"].send("n1", "late", x=1)
+        h.run(until=20)
+        got = []
+        h.transports["n1"].on("late", lambda src, p: got.append((src, p)))
+        h.run(until=30)
+        assert got == [("n0", {"x": 1})]
+
+    def test_crashed_receiver_never_delivers(self):
+        h = GroupHarness(2, retry_interval=2.0)
+        wire(h)
+        h.nodes["n1"].crash()
+        h.transports["n0"].send("n1", "app", x=1)
+        h.run(until=100)
+        assert received(h, "n1") == []

@@ -1,0 +1,198 @@
+"""Unit and property tests for the strict-2PL lock manager."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import LockManager, READ, WRITE
+from repro.errors import TransactionAborted
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+@pytest.fixture
+def lm(sim):
+    return LockManager(sim, name="site")
+
+
+def granted(future):
+    return future.done and not future.failed
+
+
+class TestGranting:
+    def test_free_item_grants_immediately(self, sim, lm):
+        assert granted(lm.acquire("t1", "x", WRITE))
+
+    def test_readers_share(self, sim, lm):
+        assert granted(lm.acquire("t1", "x", READ))
+        assert granted(lm.acquire("t2", "x", READ))
+
+    def test_writer_blocks_behind_reader(self, sim, lm):
+        lm.acquire("t1", "x", READ)
+        blocked = lm.acquire("t2", "x", WRITE)
+        assert not blocked.done
+        lm.release_all("t1")
+        assert granted(blocked)
+
+    def test_reader_blocks_behind_writer(self, sim, lm):
+        lm.acquire("t1", "x", WRITE)
+        blocked = lm.acquire("t2", "x", READ)
+        assert not blocked.done
+        lm.release_all("t1")
+        assert granted(blocked)
+
+    def test_reentrant_same_mode(self, sim, lm):
+        lm.acquire("t1", "x", WRITE)
+        assert granted(lm.acquire("t1", "x", WRITE))
+        assert granted(lm.acquire("t1", "x", READ))  # W covers R
+
+    def test_sole_reader_upgrades(self, sim, lm):
+        lm.acquire("t1", "x", READ)
+        assert granted(lm.acquire("t1", "x", WRITE))
+        assert lm.holds("t1", "x", WRITE)
+
+    def test_upgrade_waits_for_other_readers(self, sim, lm):
+        lm.acquire("t1", "x", READ)
+        lm.acquire("t2", "x", READ)
+        upgrade = lm.acquire("t1", "x", WRITE)
+        assert not upgrade.done
+        lm.release_all("t2")
+        assert granted(upgrade)
+
+    def test_fifo_among_writers(self, sim, lm):
+        lm.acquire("t1", "x", WRITE)
+        second = lm.acquire("t2", "x", WRITE)
+        third = lm.acquire("t3", "x", WRITE)
+        lm.release_all("t1")
+        assert granted(second) and not third.done
+        lm.release_all("t2")
+        assert granted(third)
+
+    def test_reader_does_not_overtake_queued_writer(self, sim, lm):
+        lm.acquire("t1", "x", READ)
+        writer = lm.acquire("t2", "x", WRITE)
+        late_reader = lm.acquire("t3", "x", READ)
+        assert not late_reader.done, "reader starving a writer"
+        lm.release_all("t1")
+        assert granted(writer)
+        lm.release_all("t2")
+        assert granted(late_reader)
+
+    def test_unknown_mode_rejected(self, sim, lm):
+        with pytest.raises(ValueError):
+            lm.acquire("t1", "x", "exclusive")
+
+
+class TestDeadlock:
+    def test_two_transaction_cycle_aborts_youngest(self, sim, lm):
+        lm.acquire("t1", "x", WRITE)
+        lm.acquire("t2", "y", WRITE)
+        wait1 = lm.acquire("t1", "y", WRITE)   # t1 -> t2
+        wait2 = lm.acquire("t2", "x", WRITE)   # t2 -> t1: cycle
+        assert lm.deadlocks_detected == 1
+        assert wait2.failed and isinstance(wait2.exception, TransactionAborted)
+        # victim's release unblocks the survivor
+        lm.release_all("t2")
+        assert granted(wait1)
+
+    def test_three_transaction_cycle_detected(self, sim, lm):
+        lm.acquire("t1", "a", WRITE)
+        lm.acquire("t2", "b", WRITE)
+        lm.acquire("t3", "c", WRITE)
+        lm.acquire("t1", "b", WRITE)
+        lm.acquire("t2", "c", WRITE)
+        w = lm.acquire("t3", "a", WRITE)
+        assert lm.deadlocks_detected == 1
+        assert w.failed
+
+    def test_upgrade_deadlock_between_two_readers(self, sim, lm):
+        lm.acquire("t1", "x", READ)
+        lm.acquire("t2", "x", READ)
+        up1 = lm.acquire("t1", "x", WRITE)
+        up2 = lm.acquire("t2", "x", WRITE)
+        assert lm.deadlocks_detected >= 1
+        assert up1.failed or up2.failed
+        victim = "t1" if up1.failed else "t2"
+        lm.release_all(victim)
+        survivor_future = up2 if victim == "t1" else up1
+        assert granted(survivor_future)
+
+    def test_no_false_deadlock_on_plain_contention(self, sim, lm):
+        lm.acquire("t1", "x", WRITE)
+        lm.acquire("t2", "x", WRITE)
+        lm.acquire("t3", "x", WRITE)
+        assert lm.deadlocks_detected == 0
+
+
+class TestTimeouts:
+    def test_lock_wait_timeout_aborts_request(self, sim, lm):
+        lm.acquire("t1", "x", WRITE)
+        blocked = lm.acquire("t2", "x", WRITE, timeout=10.0)
+        sim.run(until=20.0)
+        assert blocked.failed
+        assert "timeout" in str(blocked.exception)
+        assert lm.timeouts == 1
+
+    def test_timeout_cancelled_when_granted_in_time(self, sim, lm):
+        lm.acquire("t1", "x", WRITE)
+        blocked = lm.acquire("t2", "x", WRITE, timeout=10.0)
+        sim.schedule(2.0, lm.release_all, "t1")
+        sim.run(until=50.0)
+        assert granted(blocked)
+        assert lm.timeouts == 0
+
+
+class TestReleaseSemantics:
+    def test_release_all_clears_queued_requests(self, sim, lm):
+        lm.acquire("t1", "x", WRITE)
+        lm.acquire("t2", "x", WRITE)
+        lm.release_all("t2")  # abort while waiting
+        assert lm.waiting_count("x") == 0
+        lm.release_all("t1")
+        assert lm.holders_of("x") == {}
+
+    def test_release_unknown_txn_is_noop(self, sim, lm):
+        lm.release_all("ghost")
+
+
+@st.composite
+def lock_scripts(draw):
+    txns = [f"t{i}" for i in range(draw(st.integers(2, 4)))]
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(txns),
+                st.sampled_from(["acquire_r", "acquire_w", "release"]),
+                st.sampled_from(["x", "y", "z"]),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    return steps
+
+
+class TestSafetyProperty:
+    @given(lock_scripts())
+    @settings(max_examples=120, deadline=None)
+    def test_never_conflicting_holders(self, steps):
+        """Invariant: at no point do two transactions hold conflicting locks."""
+        sim = Simulator(seed=0)
+        lm = LockManager(sim)
+        for txn, action, item in steps:
+            if action == "release":
+                lm.release_all(txn)
+            else:
+                mode = READ if action == "acquire_r" else WRITE
+                lm.acquire(txn, item, mode)
+            sim.run()
+            for locked_item in ("x", "y", "z"):
+                holders = lm.holders_of(locked_item)
+                writers = [t for t, m in holders.items() if m == WRITE]
+                if writers:
+                    assert len(holders) == 1, (
+                        f"writer shares {locked_item}: {holders} after {steps}"
+                    )

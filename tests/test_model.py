@@ -1,0 +1,58 @@
+"""Tests for the Figure 1 abstract functional model."""
+
+import pytest
+
+from repro import AC, END, EX, RE, SC
+from repro.core.model import GENERIC_DESCRIPTOR, AbstractReplicationProtocol
+
+
+class TestAbstractProtocol:
+    def test_full_walk_records_all_five_phases(self):
+        model = AbstractReplicationProtocol(replicas=3, seed=1)
+        model.run_update("x", 1)
+        assert model.contact_sequence() == [RE, SC, EX, AC, END]
+
+    def test_generic_descriptor_matches_walk(self):
+        model = AbstractReplicationProtocol(replicas=3, seed=1)
+        model.run_update("x", 1)
+        assert model.tracer.matches(
+            GENERIC_DESCRIPTOR, "req-1", source="replica1"
+        )
+
+    def test_all_replicas_apply_the_update(self):
+        model = AbstractReplicationProtocol(replicas=4, seed=2)
+        model.run_update("account", 500)
+        assert model.consistent()
+        assert all(state["account"] == 500 for state in model.state.values())
+
+    def test_client_observes_end_after_both_coordinations(self):
+        model = AbstractReplicationProtocol(replicas=3, seed=1)
+        latency = model.run_update("x", 1)
+        # RE hop + SC round trip + AC round trip + END hop = 6 units at
+        # constant latency 1.
+        assert latency == 6.0
+
+    def test_skipping_ac_gives_the_abcast_shape(self):
+        model = AbstractReplicationProtocol(replicas=3, seed=1, skip_phases=[AC])
+        model.run_update("x", 1)
+        assert model.contact_sequence() == [RE, SC, EX, END]
+        assert model.consistent()
+
+    def test_skipping_sc_gives_the_primary_shape(self):
+        model = AbstractReplicationProtocol(replicas=3, seed=1, skip_phases=[SC])
+        model.run_update("x", 1)
+        assert model.contact_sequence() == [RE, EX, AC, END]
+        assert model.consistent()
+
+    def test_skipping_phases_reduces_latency(self):
+        full = AbstractReplicationProtocol(replicas=3, seed=1)
+        lat_full = full.run_update("x", 1)
+        merged = AbstractReplicationProtocol(replicas=3, seed=1, skip_phases=[AC])
+        lat_merged = merged.run_update("x", 1)
+        assert lat_merged < lat_full
+
+    def test_non_contact_replicas_record_coordination_phases(self):
+        model = AbstractReplicationProtocol(replicas=3, seed=1)
+        model.run_update("x", 1)
+        other = model.tracer.observed_sequence("req-1", source="replica2")
+        assert other == [SC, AC]

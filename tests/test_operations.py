@@ -1,0 +1,101 @@
+"""Unit tests for operations, requests and results."""
+
+import random
+
+import pytest
+
+from repro.core.operations import (
+    NON_DETERMINISTIC,
+    Operation,
+    Request,
+    Result,
+    UPDATE_FUNCTIONS,
+    apply_update,
+)
+
+
+class TestOperation:
+    def test_constructors(self):
+        read = Operation.read("x")
+        write = Operation.write("x", 5)
+        update = Operation.update("x", "add", 3)
+        assert read.kind == "read" and not read.is_write
+        assert write.kind == "write" and write.is_write
+        assert update.kind == "update" and update.func == "add"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("delete", "x")
+
+    def test_unknown_update_function_rejected(self):
+        with pytest.raises(ValueError):
+            Operation.update("x", "frobnicate")
+
+    def test_determinism_flag(self):
+        assert Operation.update("x", "add", 1).deterministic
+        assert not Operation.update("x", "random_token").deterministic
+        assert Operation.read("x").deterministic
+
+    def test_wire_roundtrip(self):
+        op = Operation.update("item", "append", "tail")
+        assert Operation.from_wire(op.as_wire()) == op
+
+
+class TestUpdateFunctions:
+    def test_set(self):
+        assert apply_update("set", "old", "new", random.Random(0)) == "new"
+
+    def test_add_treats_none_as_zero(self):
+        assert apply_update("add", None, 5, random.Random(0)) == 5
+        assert apply_update("add", 10, -3, random.Random(0)) == 7
+
+    def test_append(self):
+        assert apply_update("append", None, "a", random.Random(0)) == ["a"]
+        assert apply_update("append", ["a"], "b", random.Random(0)) == ["a", "b"]
+
+    def test_random_token_draws_from_given_rng(self):
+        a = apply_update("random_token", None, None, random.Random(1))
+        b = apply_update("random_token", None, None, random.Random(1))
+        c = apply_update("random_token", None, None, random.Random(2))
+        assert a == b and a != c
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            apply_update("bogus", 1, 2, random.Random(0))
+
+    def test_nondeterministic_registry_subset(self):
+        assert NON_DETERMINISTIC <= set(UPDATE_FUNCTIONS)
+
+
+class TestRequest:
+    def test_make_wraps_single_operation(self):
+        request = Request.make(Operation.read("x"))
+        assert len(request.operations) == 1
+
+    def test_request_ids_unique(self):
+        ids = {Request.make(Operation.read("x")).request_id for _ in range(20)}
+        assert len(ids) == 20
+
+    def test_read_only_and_deterministic_flags(self):
+        assert Request.make([Operation.read("x")]).read_only
+        assert not Request.make([Operation.write("x", 1)]).read_only
+        assert not Request.make([Operation.update("x", "random_token")]).deterministic
+
+    def test_wire_roundtrip(self):
+        request = Request.make([Operation.read("x"), Operation.write("y", 2)])
+        assert Request.from_wire(request.as_wire()) == request
+
+
+class TestResult:
+    def test_latency_and_value(self):
+        result = Result("r1", True, values=[None, 7],
+                        submitted_at=2.0, completed_at=5.5)
+        assert result.latency == 3.5
+        assert result.value == 7
+
+    def test_value_empty_when_no_values(self):
+        assert Result("r1", True).value is None
+
+    def test_repr_mentions_verdict(self):
+        assert "committed" in repr(Result("r1", True))
+        assert "aborted" in repr(Result("r1", False, reason="x"))

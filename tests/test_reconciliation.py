@@ -1,0 +1,112 @@
+"""Tests for lazy-replication reconciliation policies."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import DataStore, LastWriterWins, SitePriority, Stamp
+
+
+class TestLastWriterWins:
+    def test_first_write_applies(self):
+        store = DataStore()
+        lww = LastWriterWins(store)
+        assert lww.consider("x", 1, Stamp(10.0, "s1", "t1"))
+        assert store.read("x") == 1
+
+    def test_newer_stamp_overwrites(self):
+        store = DataStore()
+        lww = LastWriterWins(store)
+        lww.consider("x", "old", Stamp(10.0, "s1", "t1"))
+        assert lww.consider("x", "new", Stamp(20.0, "s2", "t2"))
+        assert store.read("x") == "new"
+        assert "t1" in lww.overwritten_txns
+
+    def test_older_stamp_discarded(self):
+        store = DataStore()
+        lww = LastWriterWins(store)
+        lww.consider("x", "new", Stamp(20.0, "s2", "t2"))
+        assert not lww.consider("x", "old", Stamp(10.0, "s1", "t1"))
+        assert store.read("x") == "new"
+        assert lww.discarded == 1
+        assert "t1" in lww.overwritten_txns
+
+    def test_equal_time_breaks_by_site_name(self):
+        store = DataStore()
+        lww = LastWriterWins(store)
+        lww.consider("x", "from-a", Stamp(10.0, "a", "t1"))
+        assert lww.consider("x", "from-b", Stamp(10.0, "b", "t2"))
+        assert store.read("x") == "from-b"
+
+    def test_items_independent(self):
+        store = DataStore()
+        lww = LastWriterWins(store)
+        lww.consider("x", 1, Stamp(10.0, "s1"))
+        lww.consider("y", 2, Stamp(5.0, "s2"))
+        assert store.read("x") == 1 and store.read("y") == 2
+
+    def test_stamp_wire_roundtrip(self):
+        stamp = Stamp(3.5, "site", "txn-9", seq=2)
+        roundtripped = Stamp.from_wire(stamp.as_wire())
+        assert roundtripped == stamp
+        assert roundtripped.txn_id == "txn-9"
+
+    def test_seq_breaks_same_time_same_site_ties(self):
+        store = DataStore()
+        lww = LastWriterWins(store)
+        lww.consider("x", "first", Stamp(1.0, "s1", "t1", seq=1))
+        assert lww.consider("x", "second", Stamp(1.0, "s1", "t2", seq=2))
+        assert store.read("x") == "second"
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from("xy"),
+                st.integers(),
+                st.floats(0, 100, allow_nan=False),
+                st.sampled_from(["s1", "s2", "s3"]),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_convergence_under_any_arrival_order(self, writes, rnd):
+        """LWW applied to any permutation of the same writes converges."""
+        stamped = [
+            (item, value, Stamp(time, site, f"t{i}", seq=i))
+            for i, (item, value, time, site) in enumerate(writes)
+        ]
+        stores = []
+        for _ in range(3):
+            permuted = list(stamped)
+            rnd.shuffle(permuted)
+            store = DataStore()
+            lww = LastWriterWins(store)
+            for item, value, stamp in permuted:
+                lww.consider(item, value, stamp)
+            stores.append(store)
+        assert stores[0].values_digest() == stores[1].values_digest()
+        assert stores[1].values_digest() == stores[2].values_digest()
+
+
+class TestSitePriority:
+    def test_priority_site_beats_newer_write(self):
+        store = DataStore()
+        rec = SitePriority(store, {"primary": 10, "edge": 1})
+        rec.consider("x", "late-edge", Stamp(100.0, "edge", "t2"))
+        assert rec.consider("x", "early-primary", Stamp(1.0, "primary", "t1"))
+        assert store.read("x") == "early-primary"
+
+    def test_same_priority_falls_back_to_time(self):
+        store = DataStore()
+        rec = SitePriority(store, {"a": 5, "b": 5})
+        rec.consider("x", "older", Stamp(1.0, "a", "t1"))
+        assert rec.consider("x", "newer", Stamp(2.0, "b", "t2"))
+        assert store.read("x") == "newer"
+
+    def test_unknown_site_rank_zero(self):
+        store = DataStore()
+        rec = SitePriority(store, {"primary": 1})
+        rec.consider("x", "anon", Stamp(50.0, "stranger", "t1"))
+        assert rec.consider("x", "prim", Stamp(1.0, "primary", "t2"))
+        assert store.read("x") == "prim"

@@ -1,0 +1,62 @@
+"""Tests for the simulation-time trace log."""
+
+from repro.sim import Simulator, TraceLog
+
+
+class TestTraceLog:
+    def test_records_carry_sim_time(self):
+        sim = Simulator()
+        trace = TraceLog(sim)
+        sim.schedule(5.0, lambda: trace.record("cat", "src", value=1))
+        sim.run()
+        assert trace.events[0].time == 5.0
+
+    def test_record_without_sim_defaults_to_zero(self):
+        trace = TraceLog()
+        event = trace.record("cat", "src")
+        assert event.time == 0.0
+
+    def test_select_filters_by_category_source_and_payload(self):
+        trace = TraceLog()
+        trace.record("phase", "r0", request="a", phase="RE")
+        trace.record("phase", "r1", request="a", phase="EX")
+        trace.record("message", "r0", request="b")
+        assert len(trace.select(category="phase")) == 2
+        assert len(trace.select(source="r0")) == 2
+        assert len(trace.select(category="phase", request="a", phase="EX")) == 1
+
+    def test_count_matches_select(self):
+        trace = TraceLog()
+        for i in range(4):
+            trace.record("tick", "t", i=i)
+        assert trace.count("tick") == 4
+        assert trace.count("tick", i=2) == 1
+
+    def test_subscribers_see_new_events(self):
+        trace = TraceLog()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record("cat", "src")
+        assert len(seen) == 1
+
+    def test_clear_keeps_subscribers(self):
+        trace = TraceLog()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record("cat", "src")
+        trace.clear()
+        assert len(trace) == 0
+        trace.record("cat", "src")
+        assert len(seen) == 2
+
+    def test_dump_limits_output(self):
+        trace = TraceLog()
+        for i in range(10):
+            trace.record("cat", "src", i=i)
+        assert len(trace.dump(limit=3).splitlines()) == 3
+
+    def test_iteration_in_order(self):
+        trace = TraceLog()
+        for i in range(3):
+            trace.record("cat", "src", i=i)
+        assert [e.data["i"] for e in trace] == [0, 1, 2]

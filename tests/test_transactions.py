@@ -1,0 +1,207 @@
+"""Tests for the local transaction manager (strict 2PL engine)."""
+
+import pytest
+
+from repro.db import TransactionManager, TransactionUpdates, UpdateRecord
+from repro.errors import TransactionAborted
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+@pytest.fixture
+def tm(sim):
+    return TransactionManager(sim, site="s1")
+
+
+def run_txn(sim, gen):
+    handle = sim.spawn(gen)
+    sim.run()
+    return handle
+
+
+class TestSingleTransaction:
+    def test_read_of_unwritten_item_is_none(self, sim, tm):
+        def work():
+            txn = tm.begin()
+            value = yield txn.read("x")
+            txn.commit()
+            return value
+        assert run_txn(sim, work()).result is None
+
+    def test_write_then_commit_installs_value(self, sim, tm):
+        def work():
+            txn = tm.begin()
+            yield txn.write("x", 42)
+            return txn.commit()
+        updates = run_txn(sim, work()).result
+        assert tm.store.read("x") == 42
+        assert [r.item for r in updates.records] == ["x"]
+        assert updates.records[0].version == 1
+
+    def test_writes_deferred_until_commit(self, sim, tm):
+        def work():
+            txn = tm.begin()
+            yield txn.write("x", 99)
+            assert tm.store.read("x") is None, "write must not hit store before commit"
+            txn.commit()
+        handle = run_txn(sim, work())
+        assert not handle.failed
+        assert tm.store.read("x") == 99
+
+    def test_read_your_own_writes(self, sim, tm):
+        def work():
+            txn = tm.begin()
+            yield txn.write("x", "mine")
+            value = yield txn.read("x")
+            txn.commit()
+            return value
+        assert run_txn(sim, work()).result == "mine"
+
+    def test_abort_discards_writes_and_releases_locks(self, sim, tm):
+        def work():
+            txn = tm.begin()
+            yield txn.write("x", "doomed")
+            txn.abort()
+        run_txn(sim, work())
+        assert tm.store.read("x") is None
+        assert tm.locks.holders_of("x") == {}
+        assert tm.aborted_count == 1
+
+    def test_operations_after_commit_rejected(self, sim, tm):
+        def work():
+            txn = tm.begin()
+            yield txn.write("x", 1)
+            txn.commit()
+            try:
+                yield txn.read("x")
+            except TransactionAborted:
+                return "rejected"
+        assert run_txn(sim, work()).result == "rejected"
+
+    def test_readset_tracks_versions(self, sim, tm):
+        tm.store.write("x", "v1")
+        tm.store.write("x", "v2")
+        def work():
+            txn = tm.begin()
+            yield txn.read("x")
+            versions = dict(txn.readset)
+            txn.commit()
+            return versions
+        assert run_txn(sim, work()).result == {"x": 2}
+
+    def test_duplicate_txn_id_rejected(self, sim, tm):
+        tm.begin("dup")
+        with pytest.raises(ValueError):
+            tm.begin("dup")
+
+    def test_commit_appends_to_wal(self, sim, tm):
+        def work():
+            txn = tm.begin()
+            yield txn.write("x", 1)
+            yield txn.write("y", 2)
+            return txn.commit()
+        updates = run_txn(sim, work()).result
+        assert len(tm.wal) == 1
+        assert updates.commit_lsn == 0
+        assert [r.item for r in tm.wal.entry(0).records] == ["x", "y"]
+
+
+class TestConcurrency:
+    def test_writer_blocks_second_writer_until_commit(self, sim, tm):
+        order = []
+        def first():
+            txn = tm.begin("t1")
+            yield txn.write("x", "first")
+            yield sim.timeout(10.0)
+            txn.commit()
+            order.append(("first", sim.now))
+        def second():
+            yield sim.timeout(1.0)
+            txn = tm.begin("t2")
+            yield txn.write("x", "second")
+            txn.commit()
+            order.append(("second", sim.now))
+        sim.spawn(first())
+        sim.spawn(second())
+        sim.run()
+        assert sorted(order) == [("first", 10.0), ("second", 10.0)], (
+            "t2 must wait for t1's commit at t=10 before writing"
+        )
+        assert tm.store.read("x") == "second"
+
+    def test_deadlock_aborts_one_and_other_commits(self, sim, tm):
+        outcomes = {}
+        def worker(name, first, second):
+            txn = tm.begin(name)
+            try:
+                yield txn.write(first, name)
+                yield sim.timeout(5.0)
+                yield txn.write(second, name)
+                txn.commit()
+                outcomes[name] = "committed"
+            except TransactionAborted:
+                txn.abort()
+                outcomes[name] = "aborted"
+        sim.spawn(worker("t1", "x", "y"))
+        sim.spawn(worker("t2", "y", "x"))
+        sim.run()
+        assert sorted(outcomes.values()) == ["aborted", "committed"]
+        survivor = next(k for k, v in outcomes.items() if v == "committed")
+        assert tm.store.read("x") == survivor
+        assert tm.store.read("y") == survivor
+
+    def test_readers_run_concurrently(self, sim, tm):
+        tm.store.write("x", "shared")
+        times = []
+        def reader(name):
+            txn = tm.begin(name)
+            value = yield txn.read("x")
+            times.append(sim.now)
+            yield sim.timeout(10.0)
+            txn.commit()
+            return value
+        h1 = sim.spawn(reader("r1"))
+        h2 = sim.spawn(reader("r2"))
+        sim.run()
+        assert h1.result == h2.result == "shared"
+        assert times == [0.0, 0.0], "read locks must not serialise readers"
+
+    def test_abort_all_active(self, sim, tm):
+        def worker():
+            txn = tm.begin("t1")
+            yield txn.write("x", 1)
+            yield sim.timeout(100.0)
+            txn.commit()
+        sim.spawn(worker())
+        sim.run(until=5.0)
+        victims = tm.abort_all_active("failover")
+        assert victims == ["t1"]
+        sim.run()
+        assert tm.store.read("x") is None
+
+
+class TestApplyUpdates:
+    def test_apply_installs_remote_writeset(self, sim, tm):
+        updates = TransactionUpdates(
+            "remote:t1",
+            (UpdateRecord("x", "from-primary", 3), UpdateRecord("y", 7, 1)),
+        )
+        tm.apply_updates(updates)
+        assert tm.store.read("x") == "from-primary"
+        assert tm.store.version("x") == 3
+        assert len(tm.wal) == 1
+
+    def test_apply_is_idempotent(self, sim, tm):
+        updates = TransactionUpdates("r:t1", (UpdateRecord("x", 5, 2),))
+        tm.apply_updates(updates)
+        tm.apply_updates(updates, log=False)
+        assert tm.store.version("x") == 2
+        assert tm.store.read("x") == 5
+
+    def test_wire_roundtrip(self, sim):
+        updates = TransactionUpdates("t9", (UpdateRecord("a", [1, 2], 4),), commit_lsn=7)
+        assert TransactionUpdates.from_wire(updates.as_wire()) == updates

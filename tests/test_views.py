@@ -1,0 +1,143 @@
+"""Tests for group membership and view-synchronous broadcast (VSCAST)."""
+
+import pytest
+from helpers import GroupHarness
+
+from repro.errors import ReplicationError
+from repro.groupcomm import ViewSyncGroup
+
+
+def attach(h, members=None, state=None):
+    members = members if members is not None else h.names
+    groups = {}
+    views = {name: [] for name in h.names}
+    app_state = state if state is not None else {name: [] for name in h.names}
+    for name in h.names:
+        def on_view(view, n=name):
+            views[n].append(view)
+        groups[name] = ViewSyncGroup(
+            h.nodes[name],
+            h.transports[name],
+            h.detectors[name],
+            list(members),
+            h.sink(name),
+            on_view_change=on_view,
+            get_state=lambda n=name: list(app_state[n]),
+            set_state=lambda s, n=name: app_state[n].__setitem__(slice(None), s),
+        )
+    return groups, views, app_state
+
+
+class TestNormalOperation:
+    def test_vscast_reaches_all_members(self):
+        h = GroupHarness(3)
+        groups, _, _ = attach(h)
+        groups["n0"].vscast("update", key="x", value=1)
+        h.run(until=100)
+        for name in h.names:
+            assert h.delivered[name] == [("n0", "update", {"key": "x", "value": 1})]
+
+    def test_initial_view_is_zero_with_all_members(self):
+        h = GroupHarness(3)
+        groups, _, _ = attach(h)
+        assert groups["n0"].view.view_id == 0
+        assert set(groups["n0"].view.members) == set(h.names)
+
+    def test_non_member_cannot_vscast(self):
+        h = GroupHarness(3)
+        groups, _, _ = attach(h, members=["n0", "n1"])
+        with pytest.raises(ReplicationError):
+            groups["n2"].vscast("update")
+
+    def test_sender_delivers_its_own_message_first(self):
+        h = GroupHarness(2)
+        groups, _, _ = attach(h)
+        groups["n0"].vscast("update", i=0)
+        assert len(h.delivered["n0"]) == 1  # local delivery is synchronous
+        h.run(until=50)
+        assert len(h.delivered["n1"]) == 1
+
+
+class TestViewChanges:
+    def test_crash_triggers_new_view_excluding_victim(self):
+        h = GroupHarness(3, fd_interval=2.0, fd_timeout=6.0)
+        groups, views, _ = attach(h)
+        h.sim.schedule(5.0, h.nodes["n2"].crash)
+        h.run(until=500)
+        for name in ("n0", "n1"):
+            assert views[name], f"{name} installed no new view"
+            last = views[name][-1]
+            assert set(last.members) == {"n0", "n1"}
+        assert views["n0"][-1].view_id == views["n1"][-1].view_id
+
+    def test_view_synchrony_uniform_delivery_before_install(self):
+        # The crashing member multicasts "just before" dying.  Survivors
+        # must agree: either both deliver it before the new view, or none.
+        for seed in range(6):
+            h = GroupHarness(3, seed=seed, jitter=True, fd_interval=2.0, fd_timeout=6.0)
+            groups, views, _ = attach(h)
+            h.sim.schedule(5.0, lambda: groups["n2"].vscast("update", tag="last-words"))
+            h.sim.schedule(5.0 + seed * 0.4, h.nodes["n2"].crash)
+            h.run(until=800)
+            survivors = ("n0", "n1")
+            got = {
+                name: [b.get("tag") for _, _, b in h.delivered[name]]
+                for name in survivors
+            }
+            assert got["n0"] == got["n1"], f"seed {seed}: VS violated {got}"
+            for name in survivors:
+                assert views[name] and set(views[name][-1].members) == set(survivors)
+
+    def test_messages_continue_after_view_change(self):
+        h = GroupHarness(3, fd_interval=2.0, fd_timeout=6.0)
+        groups, views, _ = attach(h)
+        h.sim.schedule(5.0, h.nodes["n2"].crash)
+        h.sim.schedule(100.0, lambda: groups["n0"].vscast("update", tag="after"))
+        h.run(until=300)
+        for name in ("n0", "n1"):
+            tags = [b.get("tag") for _, _, b in h.delivered[name]]
+            assert "after" in tags
+
+    def test_sequential_crashes_shrink_view(self):
+        h = GroupHarness(5, fd_interval=2.0, fd_timeout=6.0)
+        groups, views, _ = attach(h)
+        h.sim.schedule(5.0, h.nodes["n4"].crash)
+        h.sim.schedule(120.0, h.nodes["n3"].crash)
+        h.run(until=600)
+        for name in ("n0", "n1", "n2"):
+            assert set(views[name][-1].members) == {"n0", "n1", "n2"}
+
+    def test_vscast_during_view_change_is_queued_not_lost(self):
+        h = GroupHarness(3, fd_interval=2.0, fd_timeout=6.0)
+        groups, views, _ = attach(h)
+        h.sim.schedule(5.0, h.nodes["n2"].crash)
+
+        def send_during_change():
+            # By t=14 the detectors have suspected n2 and the flush started.
+            groups["n0"].vscast("update", tag="mid-change")
+        h.sim.schedule(14.0, send_during_change)
+        h.run(until=500)
+        for name in ("n0", "n1"):
+            tags = [b.get("tag") for _, _, b in h.delivered[name]]
+            assert "mid-change" in tags, f"{name}: {tags}"
+
+
+class TestJoin:
+    def test_join_installs_member_with_state(self):
+        h = GroupHarness(3, fd_interval=2.0, fd_timeout=6.0)
+        app_state = {name: ["seeded"] if name != "n2" else [] for name in h.names}
+        groups, views, state = attach(h, members=["n0", "n1"], state=app_state)
+        h.sim.schedule(10.0, lambda: groups["n2"].join(["n0"]))
+        h.run(until=500)
+        assert groups["n2"].member
+        assert set(groups["n2"].view.members) == {"n0", "n1", "n2"}
+        assert state["n2"] == ["seeded"], "state transfer must seed the joiner"
+
+    def test_joined_member_receives_subsequent_vscasts(self):
+        h = GroupHarness(3, fd_interval=2.0, fd_timeout=6.0)
+        groups, views, _ = attach(h, members=["n0", "n1"])
+        h.sim.schedule(10.0, lambda: groups["n2"].join(["n0"]))
+        h.sim.schedule(200.0, lambda: groups["n1"].vscast("update", tag="hello-joiner"))
+        h.run(until=400)
+        tags = [b.get("tag") for _, _, b in h.delivered["n2"]]
+        assert "hello-joiner" in tags

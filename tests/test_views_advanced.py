@@ -1,0 +1,104 @@
+"""Harder view-synchrony scenarios: cascades, exclusion, rejoin."""
+
+import pytest
+from helpers import GroupHarness
+
+from repro.groupcomm import ViewSyncGroup
+
+
+def attach(h, members=None):
+    members = members if members is not None else h.names
+    groups = {}
+    views = {name: [] for name in h.names}
+    for name in h.names:
+        def on_view(view, n=name):
+            views[n].append(view)
+        groups[name] = ViewSyncGroup(
+            h.nodes[name], h.transports[name], h.detectors[name],
+            list(members), h.sink(name), on_view_change=on_view,
+            get_state=lambda: None, set_state=lambda s: None,
+        )
+    return groups, views
+
+
+class TestCascadedFailures:
+    def test_crash_during_view_change_still_converges(self):
+        # n4 crashes; while the flush for that change is running, n3
+        # crashes too.  Survivors must still agree on a final view.
+        h = GroupHarness(5, fd_interval=2.0, fd_timeout=6.0)
+        groups, views = attach(h)
+        h.sim.schedule(10.0, h.nodes["n4"].crash)
+        h.sim.schedule(12.0, h.nodes["n3"].crash)  # mid-change
+        h.run(until=800)
+        survivors = ["n0", "n1", "n2"]
+        finals = {tuple(views[n][-1].members) for n in survivors if views[n]}
+        assert finals == {("n0", "n1", "n2")}, finals
+        ids = {views[n][-1].view_id for n in survivors}
+        assert len(ids) == 1
+
+    def test_view_coordinator_crash_mid_flush(self):
+        # n0 (lowest member, hence view-change coordinator and round-0
+        # consensus coordinator) dies while coordinating the change for
+        # n4's crash; a majority of the old view survives, so the
+        # remaining members must still install a view without it.
+        h = GroupHarness(5, fd_interval=2.0, fd_timeout=5.0)
+        groups, views = attach(h)
+        h.sim.schedule(10.0, h.nodes["n4"].crash)
+        h.sim.schedule(17.0, h.nodes["n0"].crash)
+        h.run(until=800)
+        for name in ("n1", "n2", "n3"):
+            assert views[name], f"{name} never installed a view"
+            assert set(views[name][-1].members) == {"n1", "n2", "n3"}
+
+    def test_half_gone_blocks_membership_by_design(self):
+        # With 2 of 4 members dead the old view has no consensus majority:
+        # the membership protocol must *block* rather than split-brain.
+        h = GroupHarness(4, fd_interval=2.0, fd_timeout=5.0)
+        groups, views = attach(h)
+        h.sim.schedule(10.0, h.nodes["n3"].crash)
+        h.sim.schedule(17.0, h.nodes["n0"].crash)
+        h.run(until=600)
+        for name in ("n1", "n2"):
+            assert not views[name], "no new view may be installed without majority"
+            assert groups[name].view.view_id == 0
+
+    def test_messages_flow_after_double_reconfiguration(self):
+        h = GroupHarness(5, fd_interval=2.0, fd_timeout=6.0)
+        groups, views = attach(h)
+        h.sim.schedule(10.0, h.nodes["n4"].crash)
+        h.sim.schedule(120.0, h.nodes["n3"].crash)
+        h.sim.schedule(300.0, lambda: groups["n1"].vscast("update", tag="final"))
+        h.run(until=600)
+        for name in ("n0", "n1", "n2"):
+            tags = [b.get("tag") for _o, _m, b in h.delivered[name]]
+            assert "final" in tags, name
+
+
+class TestExclusionAndRejoin:
+    def test_wrongly_excluded_member_learns_it(self):
+        # Partition n2 away: the majority reconfigures without it; after
+        # healing, n2 observes it is excluded (primary-partition rule).
+        h = GroupHarness(3, fd_interval=2.0, fd_timeout=6.0)
+        groups, views = attach(h)
+        h.net.partition(["n0", "n1"], ["n2"])
+        h.run(until=200)
+        h.net.heal()
+        h.run(until=400)
+        assert set(groups["n0"].view.members) == {"n0", "n1"}
+        assert groups["n2"].excluded or groups["n2"].view.view_id == 0
+
+    def test_excluded_member_rejoins_with_join(self):
+        h = GroupHarness(3, fd_interval=2.0, fd_timeout=6.0)
+        groups, views = attach(h)
+        h.net.partition(["n0", "n1"], ["n2"])
+        h.run(until=200)
+        h.net.heal()
+        h.run(until=300)
+        groups["n2"].join(["n0"])
+        h.run(until=700)
+        assert groups["n2"].member
+        assert set(groups["n2"].view.members) == {"n0", "n1", "n2"}
+        groups["n0"].vscast("update", tag="hello-again")
+        h.run(until=800)
+        tags = [b.get("tag") for _o, _m, b in h.delivered["n2"]]
+        assert "hello-again" in tags

@@ -1,0 +1,86 @@
+"""Tests for the figure-rendering helpers."""
+
+from repro import Operation, ReplicatedSystem
+from repro.core.classification import render_matrix, render_synthetic_view
+from repro.sim import Simulator, TraceLog
+from repro.core.phases import AC, END, EX, RE, SC, PhaseTracer
+from repro.viz import render_figure, render_phase_timeline
+
+
+def make_trace():
+    sim = Simulator()
+    trace = TraceLog(sim)
+    tracer = PhaseTracer(trace)
+    times = [0.0, 1.0, 2.0, 3.0, 4.0]
+    for time, phase in zip(times, (RE, SC, EX, AC, END)):
+        sim.schedule_at(time, tracer.record, "r0", "req", phase, "mech")
+    sim.schedule_at(1.0, tracer.record, "r1", "req", SC)
+    sim.run()
+    return trace
+
+
+class TestTimeline:
+    def test_all_lanes_present(self):
+        rendering = render_phase_timeline(make_trace(), "req", ["r0", "r1"])
+        lines = rendering.splitlines()
+        assert any(line.startswith("r0") for line in lines)
+        assert any(line.startswith("r1") for line in lines)
+
+    def test_phases_appear_in_time_order(self):
+        rendering = render_phase_timeline(make_trace(), "req", ["r0"])
+        row = next(line for line in rendering.splitlines() if line.startswith("r0"))
+        positions = [row.index(phase) for phase in (RE, SC, EX, AC, END)]
+        assert positions == sorted(positions)
+
+    def test_simultaneous_events_do_not_overlap(self):
+        sim = Simulator()
+        trace = TraceLog(sim)
+        tracer = PhaseTracer(trace)
+        tracer.record("r0", "req", RE)
+        tracer.record("r0", "req", SC)  # same instant
+        rendering = render_phase_timeline(trace, "req", ["r0"])
+        row = next(line for line in rendering.splitlines() if line.startswith("r0"))
+        assert "RE" in row and "SC" in row
+
+    def test_unknown_request_reports_gracefully(self):
+        rendering = render_phase_timeline(make_trace(), "ghost", ["r0"])
+        assert "no phase events" in rendering
+
+    def test_mechanism_legend_included(self):
+        rendering = render_phase_timeline(make_trace(), "req", ["r0"])
+        assert "mech" in rendering
+
+    def test_render_figure_composes_parts(self):
+        block = render_figure("Title", "RE -> EX", "timeline-body", notes=["a note"])
+        assert "Title" in block
+        assert "declared: RE -> EX" in block
+        assert "timeline-body" in block
+        assert "a note" in block
+
+    def test_end_to_end_from_live_system(self):
+        system = ReplicatedSystem("passive", replicas=3, seed=1)
+        result = system.execute([Operation.write("x", 1)])
+        system.settle(100)
+        rendering = render_phase_timeline(
+            system.trace, result.request_id, system.replica_names
+        )
+        assert "RE" in rendering and "END" in rendering
+
+
+class TestMatrixRendering:
+    def test_matrix_cells_and_labels(self):
+        rendered = render_matrix(
+            {("a", "x"): ["p1", "p2"], ("b", "y"): ["p3"]},
+            row_labels={"a": "row-a", "b": "row-b"},
+            column_labels={"x": "col-x", "y": "col-y"},
+        )
+        assert "row-a" in rendered and "col-y" in rendered
+        assert "p1, p2" in rendered
+        assert "-" in rendered  # empty cells dashed
+
+    def test_synthetic_view_lists_every_technique(self):
+        rendered = render_synthetic_view()
+        for fragment in ("Active replication", "Lazy update everywhere",
+                         "Certification-based replication"):
+            assert fragment in rendered
+        assert "weak consistency" in rendered and "strong consistency" in rendered

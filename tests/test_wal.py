@@ -1,0 +1,54 @@
+"""Unit tests for the write-ahead log."""
+
+from repro.db import TransactionUpdates, UpdateRecord, WriteAheadLog
+
+
+def updates(txn_id, *pairs):
+    return TransactionUpdates(
+        txn_id, tuple(UpdateRecord(item, value, 1) for item, value in pairs)
+    )
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_sequential_lsns(self):
+        wal = WriteAheadLog("site")
+        assert wal.append(updates("t1", ("x", 1))) == 0
+        assert wal.append(updates("t2", ("y", 2))) == 1
+        assert len(wal) == 2
+
+    def test_entries_carry_their_lsn(self):
+        wal = WriteAheadLog()
+        wal.append(updates("t1", ("x", 1)))
+        assert wal.entry(0).commit_lsn == 0
+        assert wal.entry(0).txn_id == "t1"
+
+    def test_tail_returns_suffix(self):
+        wal = WriteAheadLog()
+        for i in range(5):
+            wal.append(updates(f"t{i}", ("x", i)))
+        tail = wal.tail(3)
+        assert [entry.txn_id for entry in tail] == ["t3", "t4"]
+        assert wal.tail(5) == []
+
+    def test_last_lsn_empty_is_minus_one(self):
+        wal = WriteAheadLog()
+        assert wal.last_lsn() == -1
+        wal.append(updates("t1", ("x", 1)))
+        assert wal.last_lsn() == 0
+
+    def test_iteration_in_commit_order(self):
+        wal = WriteAheadLog()
+        for i in range(3):
+            wal.append(updates(f"t{i}", ("x", i)))
+        assert [entry.txn_id for entry in wal] == ["t0", "t1", "t2"]
+
+    def test_record_order_preserved_within_entry(self):
+        wal = WriteAheadLog()
+        wal.append(updates("t1", ("b", 1), ("a", 2), ("c", 3)))
+        assert [record.item for record in wal.entry(0).records] == ["b", "a", "c"]
+
+    def test_wire_roundtrip_preserves_lsn(self):
+        wal = WriteAheadLog()
+        wal.append(updates("t1", ("x", 1)))
+        entry = wal.entry(0)
+        assert TransactionUpdates.from_wire(entry.as_wire()) == entry

@@ -1,0 +1,108 @@
+"""Tests for workload generation and the closed-loop driver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload import ClosedLoopDriver, WorkloadGenerator, WorkloadSpec, run_workload
+
+
+class TestWorkloadSpec:
+    def test_invalid_read_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(read_fraction=1.5)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(items=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(ops_per_transaction=0)
+
+
+class TestWorkloadGenerator:
+    def test_transaction_size_matches_spec(self):
+        generator = WorkloadGenerator(WorkloadSpec(ops_per_transaction=4), seed=1)
+        assert len(generator.next_transaction()) == 4
+
+    def test_read_fraction_zero_means_all_updates(self):
+        generator = WorkloadGenerator(WorkloadSpec(read_fraction=0.0), seed=1)
+        ops = [op for _ in range(20) for op in generator.next_transaction()]
+        assert all(op.kind == "update" for op in ops)
+
+    def test_read_fraction_one_means_all_reads(self):
+        generator = WorkloadGenerator(WorkloadSpec(read_fraction=1.0), seed=1)
+        ops = [op for _ in range(20) for op in generator.next_transaction()]
+        assert all(op.kind == "read" for op in ops)
+
+    def test_deterministic_given_seed(self):
+        a = WorkloadGenerator(WorkloadSpec(), seed=5)
+        b = WorkloadGenerator(WorkloadSpec(), seed=5)
+        txa = [a.next_transaction() for _ in range(10)]
+        txb = [b.next_transaction() for _ in range(10)]
+        assert txa == txb
+
+    def test_hotspot_concentrates_accesses(self):
+        spec = WorkloadSpec(items=100, hot_fraction=0.02,
+                            hot_access_probability=0.9)
+        generator = WorkloadGenerator(spec, seed=2)
+        picks = [generator.pick_item() for _ in range(500)]
+        hot = [p for p in picks if p in ("item0", "item1")]
+        assert len(hot) > 300
+
+    def test_zipf_skews_toward_low_ranks(self):
+        spec = WorkloadSpec(items=50, zipf_s=1.2)
+        generator = WorkloadGenerator(spec, seed=3)
+        picks = [generator.pick_item() for _ in range(500)]
+        top = sum(1 for p in picks if p in ("item0", "item1", "item2"))
+        assert top > 150
+
+    def test_unique_writes_are_unique(self):
+        generator = WorkloadGenerator(WorkloadSpec(), seed=4)
+        values = {generator.unique_write().argument for _ in range(50)}
+        assert len(values) == 50
+
+    @given(st.floats(0, 1), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_mix_ratio_roughly_respected(self, read_fraction, ops):
+        spec = WorkloadSpec(read_fraction=read_fraction, ops_per_transaction=ops)
+        generator = WorkloadGenerator(spec, seed=0)
+        drawn = [op for _ in range(100) for op in generator.next_transaction()]
+        reads = sum(1 for op in drawn if op.kind == "read")
+        assert abs(reads / len(drawn) - read_fraction) < 0.2
+
+
+class TestDriver:
+    def test_driver_completes_budget(self):
+        system, driver, summary = run_workload(
+            "lazy_ue", spec=WorkloadSpec(items=5), replicas=2, clients=2,
+            requests_per_client=5, seed=1, settle=200.0,
+        )
+        assert summary.requests == 10
+        assert len(driver.results) == 10
+
+    def test_retry_aborts_resubmits(self):
+        spec = WorkloadSpec(items=1, read_fraction=0.0)
+        system, driver, summary = run_workload(
+            "certification", spec=spec, replicas=2, clients=3,
+            requests_per_client=4, seed=2, retry_aborts=True, settle=300.0,
+        )
+        # With one hot item, raw certification aborts are guaranteed; the
+        # driver hides them by retrying.
+        assert summary.abort_rate == 0.0
+        assert driver.extra_attempts > 0
+
+    def test_think_time_spreads_submissions(self):
+        fast = run_workload("lazy_ue", replicas=2, clients=1,
+                            requests_per_client=5, seed=3, settle=0.0)[2]
+        slow = run_workload("lazy_ue", replicas=2, clients=1,
+                            requests_per_client=5, seed=3, think_time=50.0,
+                            settle=0.0)[2]
+        assert slow.duration > fast.duration
+
+    def test_same_seed_same_summary(self):
+        s1 = run_workload("eager_primary", replicas=3, clients=2,
+                          requests_per_client=5, seed=11, settle=100.0)[2]
+        s2 = run_workload("eager_primary", replicas=3, clients=2,
+                          requests_per_client=5, seed=11, settle=100.0)[2]
+        assert s1.row() == s2.row()
