@@ -1,0 +1,20 @@
+# Tier-1 verification: the linter runs before the test suite so that
+# nondeterminism/layering/contract violations fail fast with file:line
+# diagnostics instead of surfacing as a flaky trace diff mid-pytest.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check lint test baseline
+
+check: lint test
+
+lint:
+	$(PYTHON) -m repro.lint src/repro
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Grandfather the current findings (use sparingly; the tree ships clean).
+baseline:
+	$(PYTHON) -m repro.lint src/repro --write-baseline

@@ -11,6 +11,9 @@ Commands
     trade-off table (latency, messages, aborts, convergence).
 ``run TECHNIQUE [--replicas N] [--requests N] [--seed N]``
     Drive one technique and print its summary plus phase row.
+``lint [paths] [options]``
+    Run the static determinism/layering/contract linter
+    (delegates to ``python -m repro.lint``; see docs/linting.md).
 """
 
 from __future__ import annotations
@@ -98,6 +101,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forward everything after "lint" untouched so the linter's own
+        # argparse handles --select/--format/... without double parsing.
+        from .lint.cli import main as lint_main
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Executable reproduction of 'Understanding Replication in "

@@ -25,7 +25,11 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = ["Operation", "Request", "Result", "apply_update", "UPDATE_FUNCTIONS"]
 
-_request_counter = itertools.count(1)
+# Fallback id source for ad-hoc Request.make() calls (tests, examples).
+# Simulation runs must pass an explicit ``sequence`` instead: a module
+# counter carries state across runs in the same interpreter, so ids would
+# depend on execution history rather than the seed.
+_request_counter = itertools.count(1)  # repro: noqa D107
 
 
 def _set(current: Any, argument: Any, rng: random.Random) -> Any:
@@ -117,11 +121,23 @@ class Request:
     operations: Tuple[Operation, ...]
 
     @staticmethod
-    def make(operations, client: str = "client") -> "Request":
+    def make(
+        operations,
+        client: str = "client",
+        sequence: Optional[int] = None,
+    ) -> "Request":
+        """Build a request with id ``{client}-r{sequence}``.
+
+        Callers owning a per-client counter (see ``core.system.Client``)
+        should pass ``sequence`` so ids are deterministic per run; without
+        it a process-global fallback counter is used.
+        """
         if isinstance(operations, Operation):
             operations = (operations,)
+        if sequence is None:
+            sequence = next(_request_counter)
         return Request(
-            request_id=f"{client}-r{next(_request_counter)}",
+            request_id=f"{client}-r{sequence}",
             operations=tuple(operations),
         )
 

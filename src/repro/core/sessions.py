@@ -31,8 +31,6 @@ from ..sim import Future
 
 __all__ = ["TransactionSession"]
 
-_session_counter = itertools.count(1)
-
 BEGIN = "session.begin"
 OP = "session.op"
 COMMIT = "session.commit"
@@ -52,7 +50,13 @@ class TransactionSession:
         self.client = client
         self.server = server
         self.timeout = timeout
-        self.session_id = f"{client.name}-s{next(_session_counter)}"
+        # The id counter lives on the client, not the module: ids restart
+        # at 1 for every fresh system, keeping same-seed runs identical.
+        counter = getattr(client, "_session_ids", None)
+        if counter is None:
+            counter = itertools.count(1)
+            client._session_ids = counter
+        self.session_id = f"{client.name}-s{next(counter)}"
         self.active = False
         self.failed_reason: Optional[str] = None
 

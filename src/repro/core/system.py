@@ -16,7 +16,9 @@ True
 
 from __future__ import annotations
 
+import itertools
 import random
+import zlib
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from ..db import TransactionManager
@@ -103,7 +105,11 @@ class ReplicaNode:
         # Per-replica RNG: non-deterministic operations draw from it, so
         # two replicas executing the same request can legitimately diverge
         # (the scenario motivating passive/semi-active replication).
-        self.rng = random.Random((system.seed or 0) * 10007 + hash(name) % 99991)
+        # crc32, not hash(): str hashing is salted per process, which would
+        # give two invocations of the same seed different replica streams.
+        self.rng = random.Random(
+            (system.seed or 0) * 10007 + zlib.crc32(name.encode("utf-8")) % 99991
+        )
         self.tracer = system.tracer
         self.protocol = None  # set by ReplicatedSystem
 
@@ -155,6 +161,7 @@ class ClientNode:
         self.node = Node(system.sim, system.net, name)
         self.node.on(CLIENT_RESPONSE, self._on_response)
         self._pending: Dict[str, dict] = {}
+        self._sequence = itertools.count(1)
         self.results: List[Result] = []
 
     # -- public API -----------------------------------------------------------
@@ -163,7 +170,9 @@ class ClientNode:
         """Submit a request; returns a future resolving to a Result."""
         if isinstance(operations, Operation):
             operations = [operations]
-        request = Request.make(tuple(operations), client=self.name)
+        request = Request.make(
+            tuple(operations), client=self.name, sequence=next(self._sequence)
+        )
         future = self.system.sim.future(label=f"result:{request.request_id}")
         entry = {
             "request": request,

@@ -29,8 +29,6 @@ __all__ = ["LockManager", "READ", "WRITE"]
 READ = "r"
 WRITE = "w"
 
-_arrival_counter = itertools.count(1)
-
 
 class _Request:
     __slots__ = ("txn", "mode", "future", "timer")
@@ -58,6 +56,7 @@ class LockManager:
         self._queues: Dict[str, List[_Request]] = {}
         self._held_by_txn: Dict[object, Set[str]] = {}
         self._ages: Dict[object, int] = {}
+        self._arrivals = itertools.count(1)
         self.deadlocks_detected = 0
         self.timeouts = 0
 
@@ -73,7 +72,7 @@ class LockManager:
         """
         if mode not in (READ, WRITE):
             raise ValueError(f"unknown lock mode {mode!r}")
-        self._ages.setdefault(txn, next(_arrival_counter))
+        self._ages.setdefault(txn, next(self._arrivals))
         future = self.sim.future(label=f"lock:{item}:{mode}:{txn}")
         if self._can_grant(txn, item, mode):
             self._grant(txn, item, mode)

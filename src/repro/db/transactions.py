@@ -30,8 +30,6 @@ from .storage import DataStore
 
 __all__ = ["Transaction", "TransactionManager"]
 
-_txn_counter = itertools.count(1)
-
 ACTIVE = "active"
 COMMITTED = "committed"
 ABORTED = "aborted"
@@ -151,6 +149,7 @@ class TransactionManager:
         self.locks = LockManager(sim, name=site)
         self.wal = WriteAheadLog(site)
         self.active: Dict[object, Transaction] = {}
+        self._txn_ids = itertools.count(1)
         self.committed_count = 0
         self.aborted_count = 0
 
@@ -159,7 +158,7 @@ class TransactionManager:
     def begin(self, txn_id: Optional[object] = None) -> Transaction:
         """Start a transaction (id auto-assigned if not given)."""
         if txn_id is None:
-            txn_id = f"{self.site}:t{next(_txn_counter)}"
+            txn_id = f"{self.site}:t{next(self._txn_ids)}"
         if txn_id in self.active:
             raise ValueError(f"transaction id {txn_id!r} already active")
         txn = Transaction(self, txn_id)

@@ -15,7 +15,6 @@ is invoked.  The failover benchmark measures exactly this cost.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import NodeCrashed
@@ -26,8 +25,6 @@ __all__ = ["TwoPhaseCoordinator", "TwoPhaseParticipant"]
 
 PREPARE = "2pc.prepare"
 DECISION = "2pc.decision"
-
-_round_counter = itertools.count(1)
 
 
 class TwoPhaseCoordinator:

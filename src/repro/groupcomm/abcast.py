@@ -19,7 +19,6 @@ Two classic implementations are provided:
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..failures import FailureDetector
@@ -30,9 +29,6 @@ from .consensus import Consensus
 from .rbcast import ReliableBroadcast
 
 __all__ = ["SequencerAtomicBroadcast", "ConsensusAtomicBroadcast"]
-
-_uid_counter = itertools.count(1)
-
 
 class SequencerAtomicBroadcast:
     """Fixed-sequencer ABCAST endpoint.
@@ -74,7 +70,7 @@ class SequencerAtomicBroadcast:
 
     def abcast(self, mtype: str, **body: Any) -> str:
         """Atomically broadcast ``body`` to the group; returns the uid."""
-        uid = f"{self.node.name}#{next(_uid_counter)}"
+        uid = f"{self.node.name}#{self.node.fresh_uid()}"
         self.transport.send(
             self.sequencer, self._req_type,
             uid=uid, origin=self.node.name, m=mtype, body=body,
@@ -152,7 +148,7 @@ class ConsensusAtomicBroadcast:
 
     def abcast(self, mtype: str, **body: Any) -> str:
         """Atomically broadcast ``body`` to the group; returns the uid."""
-        uid = f"{self.node.name}#{next(_uid_counter)}"
+        uid = f"{self.node.name}#{self.node.fresh_uid()}"
         self._rb.broadcast("msg", uid=uid, origin=self.node.name, m=mtype, body=body)
         return uid
 

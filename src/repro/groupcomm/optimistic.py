@@ -24,7 +24,6 @@ speculative consumer needs.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..failures import FailureDetector
@@ -35,9 +34,6 @@ from .channels import ReliableTransport
 from .rbcast import ReliableBroadcast
 
 __all__ = ["OptimisticAtomicBroadcast"]
-
-_uid_counter = itertools.count(1)
-
 
 class OptimisticAtomicBroadcast:
     """ABCAST with early tentative deliveries.
@@ -102,7 +98,7 @@ class OptimisticAtomicBroadcast:
 
     def abcast(self, mtype: str, **body: Any) -> str:
         """Broadcast: tentative copies race ahead of the ordering protocol."""
-        uid = f"{self.node.name}~{next(_uid_counter)}"
+        uid = f"{self.node.name}~{self.node.fresh_uid()}"
         self._tentative_rb.broadcast(
             "tent", uid=uid, origin=self.node.name, m=mtype, body=dict(body)
         )

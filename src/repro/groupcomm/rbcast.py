@@ -15,7 +15,6 @@ diffusion without failure detection.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..net import Node
@@ -23,9 +22,6 @@ from ..sim import TraceLog
 from .channels import ReliableTransport
 
 __all__ = ["ReliableBroadcast"]
-
-_uid_counter = itertools.count(1)
-
 
 class ReliableBroadcast:
     """Per-node reliable-broadcast endpoint over a static group.
@@ -70,7 +66,7 @@ class ReliableBroadcast:
 
     def broadcast(self, mtype: str, **body: Any) -> str:
         """Reliably broadcast to the whole group; returns the message uid."""
-        uid = f"{self.node.name}#{next(_uid_counter)}"
+        uid = f"{self.node.name}#{self.node.fresh_uid()}"
         self._diffuse(uid, self.node.name, mtype, body)
         return uid
 

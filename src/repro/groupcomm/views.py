@@ -33,7 +33,6 @@ alludes to.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -45,8 +44,6 @@ from .channels import ReliableTransport
 from .consensus import Consensus
 
 __all__ = ["View", "ViewSyncGroup"]
-
-_uid_counter = itertools.count(1)
 
 MSG = "vs.msg"
 FLUSH = "vs.flush"
@@ -133,7 +130,7 @@ class ViewSyncGroup:
         if self._changing:
             self._queued_out.append((mtype, body))
             return
-        uid = f"{self.node.name}#{next(_uid_counter)}"
+        uid = f"{self.node.name}#{self.node.fresh_uid()}"
         record = (self.node.name, mtype, body)
         # Deliver locally first so every vscast is in its sender's log and
         # therefore salvageable by the flush protocol.

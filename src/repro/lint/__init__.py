@@ -1,0 +1,37 @@
+"""repro.lint — AST-based static analysis for the repro codebase.
+
+Three rule families guard the invariants every regenerated figure rests
+on (see ``docs/linting.md`` for the full catalogue):
+
+* **Determinism (D1xx)** — the simulation must be bit-for-bit
+  reproducible given a seed, so the deterministic core may not touch the
+  global ``random`` API, wall clocks, ``id()``/``hash()``-derived values,
+  or unsorted set iteration.
+* **Layering (L2xx)** — imports must follow the package DAG declared in
+  :mod:`repro.lint.config`; lower layers never import upward.
+* **Protocol contracts (P3xx)** — every ``ReplicaProtocol`` subclass
+  declares a ``ProtocolInfo`` and statically emits exactly the RE/SC/EX/
+  AC/END phases its declared row in the paper's classification matrices
+  claims.
+
+Programmatic use::
+
+    from repro.lint import run_lint
+    diagnostics = run_lint(["src/repro"])   # [] when clean
+
+Command line::
+
+    python -m repro.lint [paths] [--format text|json] [--select/--ignore RULE]
+
+The package is self-contained (stdlib ``ast`` only) and sits outside the
+runtime layer DAG: nothing in ``repro``'s runtime imports it, and it
+imports nothing from the runtime, so the tooling can never distort what
+it measures.
+"""
+
+from .cli import main
+from .diagnostics import Baseline, Diagnostic
+from .engine import run_lint
+from .registry import all_rules
+
+__all__ = ["run_lint", "Diagnostic", "Baseline", "all_rules", "main"]

@@ -1,0 +1,106 @@
+"""The linter's single data file: every project-specific constant.
+
+Rules read their policy from here so that adjusting the architecture —
+adding a package, moving one between layers, widening the deterministic
+core — is a one-file change reviewed next to the DAG it alters, never a
+code change inside a rule.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Layering (rules L201/L202)
+# ---------------------------------------------------------------------------
+# The import DAG of ``repro``'s first-level packages, exactly as drawn in
+# docs/internals.md:
+#
+#     errors -> sim -> net -> failures -> {groupcomm, db} -> core
+#            -> {analysis, workload, viz}
+#
+# ``ALLOWED_DEPS[p]`` lists every package that modules inside ``p`` may
+# import from.  A package never appears in its own entry (intra-package
+# imports are always legal), and ``lint`` is deliberately standalone so the
+# tooling can never deadlock on the code it checks.
+
+ALLOWED_DEPS = {
+    "errors": frozenset(),
+    "sim": frozenset({"errors"}),
+    "net": frozenset({"errors", "sim"}),
+    "failures": frozenset({"errors", "sim", "net"}),
+    "groupcomm": frozenset({"errors", "sim", "net", "failures"}),
+    "db": frozenset({"errors", "sim", "net", "failures"}),
+    "core": frozenset({"errors", "sim", "net", "failures", "groupcomm", "db"}),
+    "analysis": frozenset(
+        {"errors", "sim", "net", "failures", "groupcomm", "db", "core"}
+    ),
+    "workload": frozenset(
+        {"errors", "sim", "net", "failures", "groupcomm", "db", "core", "analysis"}
+    ),
+    "viz": frozenset(
+        {"errors", "sim", "net", "failures", "groupcomm", "db", "core", "analysis"}
+    ),
+    "lint": frozenset(),
+}
+
+# Top-level modules of the ``repro`` package itself (``__init__``,
+# ``__main__``) re-export everything; they sit above the DAG.
+TOP_LEVEL_MAY_IMPORT_ANYTHING = True
+
+# ---------------------------------------------------------------------------
+# Determinism (rules D101-D106)
+# ---------------------------------------------------------------------------
+# Packages whose code must be bit-for-bit reproducible given a seed.  The
+# analysis/workload/viz layers consume traces after the fact and are
+# exempt (they still must not perturb a run, but they hold no simulated
+# state).
+DETERMINISTIC_PACKAGES = frozenset(
+    {"core", "groupcomm", "db", "net", "failures", "sim"}
+)
+
+# ``random.<fn>()`` calls share the interpreter-global Mersenne state; any
+# one of them desynchronises every seeded run.  Constructing a seeded
+# ``random.Random`` is the sanctioned alternative, so the class name is
+# exempt.
+RANDOM_MODULE = "random"
+RANDOM_ALLOWED_ATTRS = frozenset({"Random", "SystemRandom"})
+
+# Wall-clock and entropy sources.  Keys are ``module`` names as imported,
+# values the forbidden attributes (``"*"`` = everything in the module).
+NONDETERMINISTIC_CALLS = {
+    "time": frozenset({"time", "time_ns", "monotonic", "monotonic_ns",
+                       "perf_counter", "perf_counter_ns"}),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "os": frozenset({"urandom", "getrandom"}),
+    "uuid": frozenset({"uuid1", "uuid4"}),
+    "secrets": frozenset({"*"}),
+}
+
+# Builtins that consume an iterable without depending on its order; a set
+# flowing into one of these is harmless.
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all", "set", "frozenset"}
+)
+
+# ---------------------------------------------------------------------------
+# Protocol contracts (rules P301-P304)
+# ---------------------------------------------------------------------------
+# The five generic phases of the paper's functional model (Figure 1).
+PHASES = ("RE", "SC", "EX", "AC", "END")
+
+# Class whose subclasses constitute replication techniques, and the class
+# attribute carrying their classification row.
+PROTOCOL_BASE = "ReplicaProtocol"
+PROTOCOL_INFO_NAME = "info"
+PROTOCOL_INFO_TYPE = "ProtocolInfo"
+
+# Methods of the shared base whose bodies emit phases on behalf of every
+# subclass: the dispatcher records RE before calling ``handle_request``,
+# and ``respond`` records END before answering the client.
+BASE_EMITS = frozenset({"RE"})
+RESPOND_EMITS = "END"
+
+# ---------------------------------------------------------------------------
+# Suppression
+# ---------------------------------------------------------------------------
+NOQA_MARKER = "repro: noqa"
+DEFAULT_BASELINE = "lint-baseline.txt"

@@ -1,0 +1,153 @@
+"""Diagnostic records, suppression comments, and the baseline file.
+
+A :class:`Diagnostic` is one finding: file, line, rule id, severity and a
+human message.  Two mechanisms silence a finding without fixing it:
+
+* an inline ``# repro: noqa RULE`` (or bare ``# repro: noqa``) comment on
+  the flagged line, for deliberate one-off exceptions, and
+* the checked-in baseline file, which grandfathers existing findings so
+  the linter can gate new code while old debt is paid down incrementally.
+
+Baseline entries are fingerprints (``path::rule::message``) rather than
+line numbers, so unrelated edits that shift code do not invalidate them.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .config import NOQA_MARKER
+
+__all__ = [
+    "Diagnostic",
+    "Baseline",
+    "find_noqa",
+    "render_text",
+    "render_json",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*" + re.escape(NOQA_MARKER) + r"(?:\s+(?P<rules>[A-Z]\d+(?:[,\s]+[A-Z]\d+)*))?"
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding, pointing at ``file:line``."""
+
+    file: str
+    line: int
+    rule: str
+    severity: str  # "error" | "warning"
+    message: str
+    col: int = 0
+
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file."""
+        return f"{self.file}::{self.rule}::{self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def find_noqa(line: str) -> Optional[frozenset]:
+    """Parse a suppression comment on ``line``.
+
+    Returns ``None`` when there is no marker, an empty frozenset for a bare
+    ``# repro: noqa`` (suppress every rule), or the set of rule ids named.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if not rules:
+        return frozenset()
+    return frozenset(re.split(r"[,\s]+", rules.strip()))
+
+
+def suppressed(diagnostic: Diagnostic, lines: Sequence[str]) -> bool:
+    """Whether an inline noqa on the diagnostic's line covers its rule."""
+    if not 1 <= diagnostic.line <= len(lines):
+        return False
+    rules = find_noqa(lines[diagnostic.line - 1])
+    if rules is None:
+        return False
+    return not rules or diagnostic.rule in rules
+
+
+class Baseline:
+    """Multiset of grandfathered fingerprints backed by a text file.
+
+    The file holds one fingerprint per line (sorted; duplicates are
+    meaningful — three identical findings need three entries).  Lines that
+    are blank or start with ``#`` are ignored.
+    """
+
+    def __init__(self, entries: Optional[Iterable[str]] = None) -> None:
+        self._counts: Dict[str, int] = {}
+        for entry in entries or ():
+            self._counts[entry] = self._counts.get(entry, 0) + 1
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        entries: List[str] = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for raw in handle:
+                    line = raw.rstrip("\n")
+                    if line and not line.startswith("#"):
+                        entries.append(line)
+        except FileNotFoundError:
+            pass
+        return cls(entries)
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: Iterable[Diagnostic]) -> "Baseline":
+        return cls(d.fingerprint() for d in diagnostics)
+
+    def save(self, path: str) -> None:
+        lines = ["# repro.lint baseline — regenerate with: "
+                 "python -m repro.lint --write-baseline"]
+        for entry, count in sorted(self._counts.items()):
+            lines.extend([entry] * count)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+    def filter(self, diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+        """Diagnostics not covered by the baseline (multiset semantics)."""
+        remaining = dict(self._counts)
+        kept: List[Diagnostic] = []
+        for diagnostic in diagnostics:
+            key = diagnostic.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                kept.append(diagnostic)
+        return kept
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    lines = [d.render() for d in diagnostics]
+    if diagnostics:
+        lines.append(f"{len(diagnostics)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    return json.dumps([d.as_dict() for d in diagnostics], indent=2)

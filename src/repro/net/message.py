@@ -9,12 +9,9 @@ library while the ``type`` field keeps dispatch explicit.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Dict, Iterator, Optional
 
 __all__ = ["Message"]
-
-_message_ids = itertools.count(1)
 
 
 class Message:
@@ -23,7 +20,8 @@ class Message:
     Attributes
     ----------
     msg_id:
-        Globally unique identifier, assigned at construction.
+        Identifier assigned by the :class:`~repro.net.network.Network`
+        that sends the message (unique within one network).
     src, dst:
         Names of the sending and receiving nodes.
     type:
@@ -46,8 +44,9 @@ class Message:
         payload: Optional[Dict[str, Any]] = None,
         send_time: float = 0.0,
         reply_to: Optional[int] = None,
+        msg_id: int = 0,
     ) -> None:
-        self.msg_id = next(_message_ids)
+        self.msg_id = msg_id
         self.src = src
         self.dst = dst
         self.type = type

@@ -20,6 +20,7 @@ directly from these.
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter
 from typing import Dict, FrozenSet, Iterable, List, Optional, TYPE_CHECKING
 
@@ -98,6 +99,7 @@ class Network:
         self._nodes: Dict[str, "Node"] = {}
         self._partition: Optional[List[FrozenSet[str]]] = None
         self._last_arrival: Dict[tuple, float] = {}
+        self._message_ids = itertools.count(1)
 
     # -- membership -----------------------------------------------------------
 
@@ -161,6 +163,7 @@ class Network:
             payload=payload,
             send_time=self.sim.now,
             reply_to=reply_to,
+            msg_id=next(self._message_ids),
         )
         self.stats.sent += 1
         self.stats.by_type[type] += 1

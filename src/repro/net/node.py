@@ -10,6 +10,7 @@ nodes additionally keep *durable* state (storage, logs) that survives
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..errors import NodeCrashed, SimulationError
@@ -42,6 +43,7 @@ class Node:
         self._processes: List[Process] = []
         self._timers: List[Timer] = []
         self._recover_hooks: List[Callable[[], None]] = []
+        self._uids = itertools.count(1)
         network.register(self)
 
     # -- handler registration ---------------------------------------------
@@ -55,6 +57,16 @@ class Node:
     def on_default(self, handler: Callable[[Message], None]) -> None:
         """Register a fallback handler for unmatched message types."""
         self._default_handler = handler
+
+    def fresh_uid(self) -> int:
+        """Node-local monotonically increasing id.
+
+        Shared by every protocol endpoint hosted on this node, so ids of
+        the form ``f"{node.name}#{node.fresh_uid()}"`` are globally unique
+        while staying deterministic across same-seed runs (unlike a
+        module-level counter, whose value depends on interpreter history).
+        """
+        return next(self._uids)
 
     # -- communication -------------------------------------------------------
 

@@ -199,8 +199,11 @@ class Process(Future):
     __slots__ = ("name", "_generator", "_waiting_on", "_interrupt_pending")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
-        super().__init__(sim, label=name or "process")
-        self.name = name or f"proc-{id(generator):x}"
+        # Anonymous processes get a name from the simulator's monotonic
+        # counter: id(generator) would differ between two runs of the same
+        # seed and leak into traces and diagnostics.
+        self.name = name or f"proc-{sim._next_anonymous_id()}"
+        super().__init__(sim, label=self.name)
         self._generator = generator
         self._waiting_on: Optional[Future] = None
         self._interrupt_pending: Optional[BaseException] = None
@@ -309,9 +312,15 @@ class Simulator:
         self._now = 0.0
         self._queue: List[tuple] = []
         self._sequence = 0
+        self._anonymous = 0
         self._stopped = False
         self.rng = random.Random(seed)
         self.seed = seed
+
+    def _next_anonymous_id(self) -> int:
+        """Deterministic id for unnamed processes (never reset)."""
+        self._anonymous += 1
+        return self._anonymous
 
     # -- clock -------------------------------------------------------------
 

@@ -17,8 +17,6 @@ from ..core.operations import Operation
 
 __all__ = ["WorkloadSpec", "WorkloadGenerator"]
 
-_unique_values = itertools.count(1)
-
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -57,6 +55,7 @@ class WorkloadGenerator:
     def __init__(self, spec: WorkloadSpec, rng: Optional[random.Random] = None,
                  seed: int = 0) -> None:
         self.spec = spec
+        self._unique_values = itertools.count(1)
         self.rng = rng if rng is not None else random.Random(seed)
         self._names = [f"{spec.item_prefix}{i}" for i in range(spec.items)]
         if spec.zipf_s > 0:
@@ -96,7 +95,7 @@ class WorkloadGenerator:
 
     def unique_write(self, item: Optional[str] = None) -> Operation:
         """A blind write with a globally unique value (traceable oracle)."""
-        return Operation.write(item or self.pick_item(), f"v{next(_unique_values)}")
+        return Operation.write(item or self.pick_item(), f"v{next(self._unique_values)}")
 
     def _update(self, item: str) -> Operation:
         return Operation.update(item, self.spec.update_func, self.spec.update_argument)

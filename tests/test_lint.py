@@ -1,0 +1,527 @@
+"""Tests for repro.lint: each rule family with passing and violating
+fixtures, suppression/baseline mechanics, output formats, and the
+assertion that the shipped tree itself is clean."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, Diagnostic, all_rules, run_lint
+from repro.lint.cli import main as lint_main
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "lint-baseline.txt"
+
+
+def tree(tmp_path, files):
+    """Materialise ``{relative-path: source}`` under a src/repro layout."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return [str(tmp_path)]
+
+
+def rules_of(diagnostics):
+    return sorted({d.rule for d in diagnostics})
+
+
+# ---------------------------------------------------------------------------
+# Determinism family
+# ---------------------------------------------------------------------------
+
+def test_global_random_call_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/bad.py": "import random\nx = random.random()\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["D101"]
+    assert found[0].line == 2
+
+
+def test_seeded_random_instance_allowed(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/good.py":
+            "import random\nrng = random.Random(42)\nx = rng.random()\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_from_random_import_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/db/bad.py": "from random import choice\n",
+        "src/repro/db/good.py": "from random import Random\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["D102"]
+    assert all("bad.py" in d.file for d in found)
+
+
+def test_wall_clock_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/net/bad.py":
+            "import time\nimport os\n"
+            "t = time.time()\ne = os.urandom(8)\n",
+        "src/repro/net/bad2.py": "from time import monotonic\n",
+        "src/repro/net/bad3.py":
+            "import datetime\nnow = datetime.datetime.now()\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["D103"]
+    assert len(found) == 4
+
+
+def test_id_and_hash_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/sim/bad.py":
+            "def name_for(obj):\n    return f'proc-{id(obj):x}'\n"
+            "def seed_for(name):\n    return hash(name) % 97\n",
+        "src/repro/sim/good.py":
+            "class Key:\n"
+            "    def __hash__(self):\n"
+            "        return hash((self.a, self.b))\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["D104", "D105"]
+    assert all("bad.py" in d.file for d in found)
+
+
+def test_set_iteration_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/groupcomm/bad.py":
+            "pending = set()\n"
+            "for item in pending:\n"
+            "    print(item)\n"
+            "ordered = list({'a', 'b'})\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["D106"]
+    assert len(found) == 2
+
+
+def test_sorted_set_iteration_allowed(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/groupcomm/good.py":
+            "pending = set()\n"
+            "for item in sorted(pending):\n"
+            "    print(item)\n"
+            "ok = all(x > 0 for x in pending)\n"
+            "n = len(pending)\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_self_attribute_set_tracked_across_methods(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/bad.py":
+            "class Proto:\n"
+            "    def __init__(self):\n"
+            "        self._executed = set()\n"
+            "    def replay(self):\n"
+            "        for rid in self._executed:\n"
+            "            print(rid)\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["D106"]
+
+
+def test_module_level_counter_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/db/bad.py":
+            "import itertools\n"
+            "from itertools import count\n"
+            "_ids = itertools.count(1)\n"
+            "class Table:\n"
+            "    _shared = count()\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["D107"]
+    assert len(found) == 2
+
+
+def test_instance_counter_allowed(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/db/good.py":
+            "import itertools\n"
+            "class Table:\n"
+            "    def __init__(self):\n"
+            "        self._ids = itertools.count(1)\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_determinism_rules_scoped_to_core_packages(tmp_path):
+    # The same construct outside the deterministic core is not flagged:
+    # analysis consumes traces after the run.
+    paths = tree(tmp_path, {
+        "src/repro/analysis/ok.py": "import random\nx = random.random()\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+# ---------------------------------------------------------------------------
+# Layering family
+# ---------------------------------------------------------------------------
+
+def test_upward_import_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/sim/bad.py": "from repro.core import ReplicatedSystem\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["L201"]
+    assert "layer 'sim'" in found[0].message
+
+
+def test_relative_upward_import_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/net/bad.py": "from ..groupcomm import abcast\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["L201"]
+
+
+def test_downward_import_allowed(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/net/good.py":
+            "from repro.errors import ReproError\nfrom ..sim import Simulator\n",
+        "src/repro/core/good.py": "from ..groupcomm import abcast\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_package_init_relative_imports_resolve_to_own_package(tmp_path):
+    # ``from .child import x`` inside pkg/__init__.py targets pkg itself.
+    paths = tree(tmp_path, {
+        "src/repro/db/__init__.py": "from .storage import DataStore\n",
+        "src/repro/db/storage.py": "class DataStore: pass\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_undeclared_package_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/shiny/new.py": "x = 1\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["L202"]
+    assert "ALLOWED_DEPS" in found[0].message
+
+
+# ---------------------------------------------------------------------------
+# Protocol-contract family
+# ---------------------------------------------------------------------------
+
+PROTOCOL_PRELUDE = """\
+from repro.core.phases import AC, END, EX, RE, SC, PhaseDescriptor, PhaseStep
+from repro.core.protocols.base import ProtocolInfo, ReplicaProtocol
+"""
+
+
+def protocol_class(name, steps, body):
+    step_src = ", ".join(f"PhaseStep({s})" for s in steps)
+    return (
+        f"class {name}(ReplicaProtocol):\n"
+        f"    info = ProtocolInfo(\n"
+        f"        name='{name.lower()}', title='{name}', figure='Figure 0',\n"
+        f"        community='ds',\n"
+        f"        descriptor=PhaseDescriptor(\n"
+        f"            technique='{name.lower()}', steps=({step_src},),\n"
+        f"        ),\n"
+        f"    )\n"
+        f"{body}"
+    )
+
+
+def test_consistent_protocol_is_clean(tmp_path):
+    body = (
+        "    def handle_request(self, request, client):\n"
+        "        self.phase(request.request_id, EX)\n"
+        "        self.phase(request.request_id, AC, '2pc')\n"
+        "        self.respond(client, request, committed=True)\n"
+    )
+    paths = tree(tmp_path, {
+        "src/repro/core/protocols/fixture.py":
+            PROTOCOL_PRELUDE
+            + protocol_class("GoodProto", ["RE", "EX", "AC", "END"], body),
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_missing_protocol_info_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/protocols/fixture.py":
+            PROTOCOL_PRELUDE
+            + "class Anon(ReplicaProtocol):\n"
+              "    def handle_request(self, request, client):\n"
+              "        self.respond(client, request, committed=True)\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert "P301" in rules_of(found)
+
+
+def test_generator_handle_request_flagged(tmp_path):
+    body = (
+        "    def handle_request(self, request, client):\n"
+        "        values = yield self.tm.begin()\n"
+        "        self.phase(request.request_id, EX)\n"
+        "        self.respond(client, request, committed=True)\n"
+    )
+    paths = tree(tmp_path, {
+        "src/repro/core/protocols/fixture.py":
+            PROTOCOL_PRELUDE
+            + protocol_class("GenProto", ["RE", "EX", "END"], body),
+    })
+    found = run_lint(paths, baseline=None)
+    assert "P302" in rules_of(found)
+    assert any("synchronously" in d.message for d in found)
+
+
+def test_spawned_generator_helper_is_fine(tmp_path):
+    body = (
+        "    def handle_request(self, request, client):\n"
+        "        self.replica.node.spawn(self._execute(request, client))\n"
+        "    def _execute(self, request, client):\n"
+        "        self.phase(request.request_id, EX)\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        self.respond(client, request, committed=True)\n"
+    )
+    paths = tree(tmp_path, {
+        "src/repro/core/protocols/fixture.py":
+            PROTOCOL_PRELUDE
+            + protocol_class("SpawnProto", ["RE", "EX", "END"], body),
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_emitting_undeclared_phase_flagged(tmp_path):
+    # Declares RE EX END but also emits AC: drifted from its row.
+    body = (
+        "    def handle_request(self, request, client):\n"
+        "        self.phase(request.request_id, EX)\n"
+        "        self.phase(request.request_id, AC, '2pc')\n"
+        "        self.respond(client, request, committed=True)\n"
+    )
+    paths = tree(tmp_path, {
+        "src/repro/core/protocols/fixture.py":
+            PROTOCOL_PRELUDE
+            + protocol_class("DriftProto", ["RE", "EX", "END"], body),
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["P303"]
+    assert any("emits phase AC" in d.message for d in found)
+
+
+def test_declared_phase_never_emitted_flagged(tmp_path):
+    # Claims Server Coordination in its row but has no SC emission.
+    body = (
+        "    def handle_request(self, request, client):\n"
+        "        self.phase(request.request_id, EX)\n"
+        "        self.respond(client, request, committed=True)\n"
+    )
+    paths = tree(tmp_path, {
+        "src/repro/core/protocols/fixture.py":
+            PROTOCOL_PRELUDE
+            + protocol_class("LiarProto", ["RE", "SC", "EX", "END"], body),
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["P303"]
+    assert any("declares phase SC" in d.message for d in found)
+
+
+def test_unknown_phase_literal_flagged(tmp_path):
+    body = (
+        "    def handle_request(self, request, client):\n"
+        "        self.phase(request.request_id, 'WARMUP')\n"
+        "        self.respond(client, request, committed=True)\n"
+    )
+    paths = tree(tmp_path, {
+        "src/repro/core/protocols/fixture.py":
+            PROTOCOL_PRELUDE
+            + protocol_class("OddProto", ["RE", "END"], body),
+    })
+    found = run_lint(paths, baseline=None)
+    assert "P304" in rules_of(found)
+
+
+def test_all_registered_techniques_statically_verified():
+    """The contract rule must actually resolve — not skip — every
+    registered technique's declared phase row."""
+    import ast
+
+    from repro import REGISTRY
+    from repro.lint.contracts import _declared_phases, _find_info_assign
+
+    protocol_dir = REPO / "src" / "repro" / "core" / "protocols"
+    resolved = {}
+    for path in protocol_dir.glob("*.py"):
+        module = ast.parse(path.read_text())
+        for node in ast.walk(module):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = _find_info_assign(node)
+            if info is None:
+                continue
+            declared = _declared_phases(info)
+            assert declared, f"{node.name}: phase row not statically resolvable"
+            resolved[node.name] = declared
+    assert len(resolved) >= len(REGISTRY)
+    for cls in REGISTRY.values():
+        assert cls.__name__ in resolved
+
+
+def test_misdeclaring_a_real_technique_is_caught(tmp_path):
+    """Acceptance fixture: drop one declared phase from a real registered
+    technique's source and the contract rule reports the drift."""
+    source = (REPO / "src/repro/core/protocols/active.py").read_text()
+    mutated = source.replace("PhaseStep(EX),\n", "")
+    assert mutated != source, "mutation did not apply"
+    paths = tree(tmp_path, {
+        "src/repro/core/protocols/active.py": mutated,
+        "src/repro/core/protocols/base.py":
+            (REPO / "src/repro/core/protocols/base.py").read_text(),
+    })
+    found = [d for d in run_lint(paths, baseline=None) if d.rule == "P303"]
+    assert found
+    assert any("emits phase EX" in d.message for d in found)
+
+
+# ---------------------------------------------------------------------------
+# Suppression, baseline, CLI
+# ---------------------------------------------------------------------------
+
+def test_noqa_suppresses_named_rule(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/ok.py":
+            "import random\n"
+            "x = random.random()  # repro: noqa D101\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_noqa_bare_suppresses_all_rules(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/ok.py":
+            "import random\n"
+            "x = random.random()  # repro: noqa\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_noqa_for_other_rule_does_not_suppress(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/bad.py":
+            "import random\n"
+            "x = random.random()  # repro: noqa D103\n",
+    })
+    assert rules_of(run_lint(paths, baseline=None)) == ["D101"]
+
+
+def test_baseline_grandfathers_existing_findings(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/bad.py": "import random\nx = random.random()\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert found
+    baseline_file = tmp_path / "baseline.txt"
+    Baseline.from_diagnostics(found).save(str(baseline_file))
+    assert run_lint(paths, baseline=str(baseline_file)) == []
+    # A *new* finding still surfaces.
+    (tmp_path / "src/repro/core/bad.py").write_text(
+        "import random\nx = random.random()\ny = random.randint(0, 3)\n"
+    )
+    remaining = run_lint(paths, baseline=str(baseline_file))
+    assert len(remaining) == 1
+    assert "randint" in remaining[0].message
+
+
+def test_select_and_ignore(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/bad.py":
+            "import random\nfrom repro.workload import driver\n"
+            "x = random.random()\n",
+    })
+    assert rules_of(run_lint(paths, select=["D101"], baseline=None)) == ["D101"]
+    assert rules_of(run_lint(paths, select=["L"], baseline=None)) == ["L201"]
+    assert rules_of(run_lint(paths, ignore=["D"], baseline=None)) == ["L201"]
+    with pytest.raises(KeyError):
+        run_lint(paths, select=["Z999"], baseline=None)
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    paths = tree(tmp_path, {"src/repro/core/broken.py": "def f(:\n"})
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["E001"]
+
+
+def test_cli_json_output_round_trips(tmp_path, capsys):
+    tree(tmp_path, {
+        "src/repro/core/bad.py": "import random\nx = random.random()\n",
+    })
+    exit_code = lint_main([str(tmp_path), "--format", "json", "--no-baseline"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert payload[0]["rule"] == "D101"
+    assert payload[0]["line"] == 2
+    assert set(payload[0]) == {"file", "line", "col", "rule", "severity",
+                              "message"}
+
+
+def test_cli_exit_zero_and_list_rules(tmp_path, capsys):
+    tree(tmp_path, {"src/repro/core/ok.py": "x = 1\n"})
+    assert lint_main([str(tmp_path), "--no-baseline"]) == 0
+    assert lint_main(["--list-rules"]) == 0
+    listing = capsys.readouterr().out
+    for rule_id in ("D101", "D106", "L201", "P303"):
+        assert rule_id in listing
+
+
+def test_cli_missing_path_is_usage_error(tmp_path, capsys):
+    missing = str(tmp_path / "nope")
+    assert lint_main([missing]) == 2
+    assert "no such file or directory" in capsys.readouterr().err
+
+
+def test_cli_write_baseline(tmp_path, capsys):
+    tree(tmp_path, {
+        "src/repro/core/bad.py": "import random\nx = random.random()\n",
+    })
+    baseline_file = tmp_path / "bl.txt"
+    assert lint_main([str(tmp_path), "--write-baseline",
+                      "--baseline", str(baseline_file)]) == 0
+    assert lint_main([str(tmp_path), "--baseline", str(baseline_file)]) == 0
+
+
+def test_rule_catalogue_has_docs():
+    for entry in all_rules():
+        assert entry.doc, f"rule {entry.id} has no documentation"
+        assert entry.summary
+        assert entry.severity in ("error", "warning")
+
+
+def test_diagnostic_fingerprint_ignores_line_numbers():
+    a = Diagnostic("f.py", 10, "D101", "error", "msg")
+    b = Diagnostic("f.py", 99, "D101", "error", "msg")
+    assert a.fingerprint() == b.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# The shipped tree is clean
+# ---------------------------------------------------------------------------
+
+def test_shipped_tree_is_clean_modulo_baseline():
+    baseline = str(BASELINE) if BASELINE.exists() else None
+    found = run_lint([str(REPO / "src" / "repro")], baseline=baseline)
+    assert found == [], "\n".join(d.render() for d in found)
+
+
+def test_module_entrypoint_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src/repro", "--format", "json"],
+        capture_output=True, text=True, cwd=str(REPO),
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert json.loads(result.stdout) == []
