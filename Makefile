@@ -1,19 +1,37 @@
 # Tier-1 verification: the linter runs before the test suite so that
 # nondeterminism/layering/contract violations fail fast with file:line
 # diagnostics instead of surfacing as a flaky trace diff mid-pytest.
+# `typecheck` is skipped gracefully when mypy is not installed (the CI
+# image installs it; the minimal dev container may not).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint test baseline
+.PHONY: check lint typecheck test baseline catalog catalog-check
 
-check: lint test
+check: lint typecheck catalog-check test
 
 lint:
 	$(PYTHON) -m repro.lint src/repro
 
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "typecheck: mypy not installed, skipping"; \
+	fi
+
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Regenerate the protocol message catalog (docs/messages.md + .json)
+# from the M4xx message-flow graph; `catalog-check` fails when the
+# checked-in copy is stale.
+catalog:
+	$(PYTHON) -m repro.lint src/repro --write-catalog docs/messages.md
+
+catalog-check:
+	$(PYTHON) -m repro.lint src/repro --check-catalog docs/messages.md
 
 # Grandfather the current findings (use sparingly; the tree ships clean).
 baseline:

@@ -75,7 +75,6 @@ class AbstractReplicationProtocol:
         for node in self.replicas:
             node.on("request", self._make_handler(node))
             node.on("coordinate", self._make_coordinate_handler(node))
-            node.on("coordinate-ack", lambda msg: None)
         self._response_future = None
 
     # -- the walk ---------------------------------------------------------

@@ -1,6 +1,6 @@
 """repro.lint — AST-based static analysis for the repro codebase.
 
-Three rule families guard the invariants every regenerated figure rests
+Four rule families guard the invariants every regenerated figure rests
 on (see ``docs/linting.md`` for the full catalogue):
 
 * **Determinism (D1xx)** — the simulation must be bit-for-bit
@@ -13,6 +13,13 @@ on (see ``docs/linting.md`` for the full catalogue):
   declares a ``ProtocolInfo`` and statically emits exactly the RE/SC/EX/
   AC/END phases its declared row in the paper's classification matrices
   claims.
+* **Message flow (M4xx)** — a whole-program send/handler graph
+  (:mod:`repro.lint.msgflow`, on top of the symbolic string evaluator in
+  :mod:`repro.lint.symeval`) proves every sent message type has a
+  handler, every handler a sender, every unconditionally-read payload
+  key a send site that provides it, and every ``reply`` a ``call`` to
+  answer.  The same graph generates the protocol message catalog
+  (``docs/messages.md`` + JSON).
 
 Programmatic use::
 
@@ -21,7 +28,8 @@ Programmatic use::
 
 Command line::
 
-    python -m repro.lint [paths] [--format text|json] [--select/--ignore RULE]
+    python -m repro.lint [paths] [--format text|json|sarif] [--select/--ignore RULE]
+    python -m repro.lint [paths] --write-catalog docs/messages.md
 
 The package is self-contained (stdlib ``ast`` only) and sits outside the
 runtime layer DAG: nothing in ``repro``'s runtime imports it, and it

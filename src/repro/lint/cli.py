@@ -12,8 +12,8 @@ import sys
 from typing import List, Optional
 
 from .config import DEFAULT_BASELINE
-from .diagnostics import Baseline, render_json, render_text
-from .engine import run_lint
+from .diagnostics import Baseline, render_json, render_sarif, render_text
+from .engine import collect_files, parse_file, run_lint
 from .registry import all_rules
 
 
@@ -28,7 +28,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="diagnostic output format",
     )
     parser.add_argument(
@@ -57,7 +57,75 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--write-catalog", metavar="FILE",
+        help="generate the protocol message catalog (markdown at FILE, "
+             "JSON next to it) from the message-flow graph and exit",
+    )
+    parser.add_argument(
+        "--check-catalog", metavar="FILE",
+        help="verify the generated catalog at FILE (and its JSON sibling) "
+             "is up to date with the code; exit 1 when stale",
+    )
     return parser
+
+
+def _json_sibling(markdown_path: str) -> str:
+    stem, _ = os.path.splitext(markdown_path)
+    return stem + ".json"
+
+
+def _catalog_mode(args: argparse.Namespace) -> int:
+    """Generate or verify the protocol message catalog."""
+    from .msgflow import (
+        build_catalog,
+        render_catalog_json,
+        render_catalog_markdown,
+    )
+
+    contexts = []
+    for path in collect_files(args.paths):
+        context, error = parse_file(path)
+        if error is not None:
+            print(error.render(), file=sys.stderr)
+            return 2
+        contexts.append(context)
+    catalog = build_catalog(contexts)
+    markdown = render_catalog_markdown(catalog)
+    payload = render_catalog_json(catalog)
+
+    if args.write_catalog:
+        json_path = _json_sibling(args.write_catalog)
+        with open(args.write_catalog, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.write_catalog} and {json_path} "
+              f"({len(catalog['types'])} message types, "
+              f"{len(catalog['broadcast_bindings'])} bindings)")
+        return 0
+
+    target = args.check_catalog
+    json_path = _json_sibling(target)
+    stale = []
+    for path, expected in ((target, markdown), (json_path, payload)):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                current = handle.read()
+        except FileNotFoundError:
+            stale.append(f"{path}: missing")
+            continue
+        if current != expected:
+            stale.append(f"{path}: out of date")
+    if stale:
+        for entry in stale:
+            print(entry, file=sys.stderr)
+        print(f"regenerate with: python -m repro.lint "
+              f"{' '.join(args.paths)} --write-catalog {target}",
+              file=sys.stderr)
+        return 1
+    print(f"catalog up to date: {target}, {json_path}")
+    return 0
 
 
 def _split_rules(values: Optional[List[str]]) -> Optional[List[str]]:
@@ -79,6 +147,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{entry.summary}")
         return 0
 
+    if args.write_catalog or args.check_catalog:
+        try:
+            return _catalog_mode(args)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
     try:
         select = _split_rules(args.select)
         ignore = _split_rules(args.ignore)
@@ -98,6 +173,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "sarif":
+        print(render_sarif(findings))
     elif findings:
         print(render_text(findings))
     else:

@@ -8,6 +8,8 @@ code change inside a rule.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 # ---------------------------------------------------------------------------
 # Layering (rules L201/L202)
 # ---------------------------------------------------------------------------
@@ -98,6 +100,84 @@ PROTOCOL_INFO_TYPE = "ProtocolInfo"
 # and ``respond`` records END before answering the client.
 BASE_EMITS = frozenset({"RE"})
 RESPOND_EMITS = "END"
+
+# ---------------------------------------------------------------------------
+# Message flow (rules M401-M404)
+# ---------------------------------------------------------------------------
+# Point-to-point send methods and the positional index of their
+# message-type argument.  ``Node.send/send_many/call`` and
+# ``ReliableTransport.send/send_to_group`` share one string namespace:
+# transport inner types travel inside node-level ``rt.data`` envelopes but
+# never collide with node types by convention, so the flow graph keeps a
+# single table for both.
+SEND_METHODS = {
+    "send": 1,
+    "send_many": 1,
+    "send_to_group": 1,
+    "call": 1,
+}
+
+# ``Node.call`` bookkeeping kwargs that are not payload keys.
+CALL_CONTROL_KWARGS = frozenset({"timeout"})
+
+# A ``.send`` carrying one of these kwargs is the raw ``Network.send``
+# (src/dst routing layer), not a protocol message construction site; the
+# same goes for a receiver literally named ``network``.
+NETWORK_SEND_KWARGS = frozenset({"payload", "reply_to"})
+NETWORK_RECEIVER_NAMES = frozenset({"network"})
+
+# Catalog name for the reserved reply envelope (``Node.reply`` sends it;
+# the call-correlation machinery in ``Node._dispatch`` consumes it, so it
+# has no ``.on`` registration by design).
+REPLY_TYPE_NAME = "$reply"
+
+# Receiver-name fragments that attribute a send/registration to the
+# reliable-transport layer in the generated catalog (display only; the
+# flow analysis itself is layer-agnostic).
+TRANSPORT_RECEIVER_HINT = "transport"
+
+# Group-communication primitives: constructor shape of every class whose
+# instances fan messages out to a ``deliver(origin, mtype, body)``-style
+# callback.  ``send`` is the broadcast method name, ``deliver`` the
+# positional indices (after ``self``) of the delivery callbacks in the
+# constructor, ``deliver_kwargs`` their keyword spellings, and
+# ``channel_param`` the constructor parameter naming the wire channel
+# (``None`` = fixed wire type).
+PRIMITIVE_SPECS: Dict[str, Dict[str, Any]] = {
+    "ReliableBroadcast": {
+        "send": "broadcast", "deliver": (3,), "deliver_kwargs": ("deliver",),
+        "channel_param": "channel", "channel_is_prefix": False,
+    },
+    "FifoBroadcast": {
+        "send": "broadcast", "deliver": (3,), "deliver_kwargs": ("deliver",),
+        "channel_param": "channel", "channel_is_prefix": False,
+    },
+    "CausalBroadcast": {
+        "send": "broadcast", "deliver": (3,), "deliver_kwargs": ("deliver",),
+        "channel_param": "channel", "channel_is_prefix": False,
+    },
+    "SequencerAtomicBroadcast": {
+        "send": "abcast", "deliver": (3,), "deliver_kwargs": ("deliver",),
+        "channel_param": "channel_prefix", "channel_is_prefix": True,
+    },
+    "ConsensusAtomicBroadcast": {
+        "send": "abcast", "deliver": (4,), "deliver_kwargs": ("deliver",),
+        "channel_param": "channel_prefix", "channel_is_prefix": True,
+    },
+    "OptimisticAtomicBroadcast": {
+        "send": "abcast", "deliver": (4, 5),
+        "deliver_kwargs": ("opt_deliver", "final_deliver"),
+        "channel_param": "channel_prefix", "channel_is_prefix": True,
+    },
+    "ViewSyncGroup": {
+        "send": "vscast", "deliver": (4,), "deliver_kwargs": ("deliver",),
+        "channel_param": None, "channel_is_prefix": False,
+    },
+}
+
+BROADCAST_METHODS = frozenset(
+    spec["send"] for spec in PRIMITIVE_SPECS.values()
+)
 
 # ---------------------------------------------------------------------------
 # Suppression

@@ -27,6 +27,7 @@ __all__ = [
     "find_noqa",
     "render_text",
     "render_json",
+    "render_sarif",
 ]
 
 _NOQA_RE = re.compile(
@@ -151,3 +152,67 @@ def render_text(diagnostics: Sequence[Diagnostic]) -> str:
 
 def render_json(diagnostics: Sequence[Diagnostic]) -> str:
     return json.dumps([d.as_dict() for d in diagnostics], indent=2)
+
+
+# SARIF severity levels for our two severities.
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic]) -> str:
+    """Render findings as a SARIF 2.1.0 log (for CI inline annotations).
+
+    Carries exactly the information of :func:`render_json`: every finding
+    maps to one ``result`` with its rule id, level, message and physical
+    location, and the driver's rule table documents each rule that fired.
+    """
+    from .registry import all_rules  # local import: registry imports us
+
+    fired = {d.rule for d in diagnostics}
+    rules = [
+        {
+            "id": entry.id,
+            "name": entry.name,
+            "shortDescription": {"text": entry.summary},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS.get(entry.severity, "warning"),
+            },
+        }
+        for entry in all_rules()
+        if entry.id in fired
+    ]
+    results = [
+        {
+            "ruleId": d.rule,
+            "level": _SARIF_LEVELS.get(d.severity, "warning"),
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.file},
+                        "region": {
+                            "startLine": max(d.line, 1),
+                            "startColumn": d.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in diagnostics
+    ]
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "docs/linting.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -174,3 +174,4 @@ def _run_rule(enabled: Rule, args: tuple) -> List[Diagnostic]:
 from . import contracts as _contracts  # noqa: E402,F401
 from . import determinism as _determinism  # noqa: E402,F401
 from . import layering as _layering  # noqa: E402,F401
+from . import msgflow as _msgflow  # noqa: E402,F401

@@ -389,6 +389,236 @@ def test_misdeclaring_a_real_technique_is_caught(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Message-flow family
+# ---------------------------------------------------------------------------
+
+def test_typoed_send_is_undeliverable_and_handler_dead(tmp_path):
+    # One transposed letter: the send reaches nobody (M401) and the
+    # registered handler starves (M402) — the exact failure mode the
+    # family exists for.
+    paths = tree(tmp_path, {
+        "src/repro/core/flow.py":
+            "class Widget:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('flow.request', self._on_req)\n"
+            "    def kick(self):\n"
+            "        self.node.send('peer', 'flow.requst', item=1)\n"
+            "    def _on_req(self, message):\n"
+            "        print(message['item'])\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["M401", "M402"]
+    assert any("flow.requst" in d.message for d in found)
+
+
+def test_matched_send_and_handler_clean(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/flow.py":
+            "class Widget:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('flow.request', self._on_req)\n"
+            "    def kick(self):\n"
+            "        self.node.send('peer', 'flow.request', item=1)\n"
+            "    def _on_req(self, message):\n"
+            "        print(message['item'])\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_message_types_resolved_across_modules(tmp_path):
+    # The send spells its type through an f-string constant imported from
+    # another module; the handler builds the same string from an __init__
+    # parameter default.  The symbolic evaluator must unify them.
+    paths = tree(tmp_path, {
+        "src/repro/net/kinds.py":
+            "PREFIX = 'svc'\nREQ = f'{PREFIX}.req'\n",
+        "src/repro/core/client.py":
+            "from ..net.kinds import REQ\n"
+            "class Client:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "    def go(self):\n"
+            "        self.node.call('server', REQ, timeout=5.0, q=1)\n",
+        "src/repro/core/server.py":
+            "class Server:\n"
+            "    def __init__(self, node, prefix='svc'):\n"
+            "        self._req = f'{prefix}.req'\n"
+            "        node.on(self._req, self._on_req)\n"
+            "    def _on_req(self, message):\n"
+            "        print(message['q'])\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_payload_key_never_sent_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/flow.py":
+            "class Widget:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('flow.request', self._on_req)\n"
+            "    def kick(self):\n"
+            "        self.node.send('peer', 'flow.request', item=1)\n"
+            "    def _on_req(self, message):\n"
+            "        print(message['item'], message['missing'])\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["M403"]
+    assert "missing" in found[0].message
+    assert "KeyError" in found[0].message
+
+
+def test_optional_get_and_open_splat_mute_schema_check(tmp_path):
+    paths = tree(tmp_path, {
+        # .get() reads are optional by definition.
+        "src/repro/core/a.py":
+            "class A:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('a.msg', self._on)\n"
+            "    def kick(self):\n"
+            "        self.node.send('peer', 'a.msg', item=1)\n"
+            "    def _on(self, message):\n"
+            "        print(message.get('maybe'))\n",
+        # A **splat send makes the type's schema open.
+        "src/repro/core/b.py":
+            "class B:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('b.msg', self._on)\n"
+            "    def kick(self, extras):\n"
+            "        self.node.send('peer', 'b.msg', **extras)\n"
+            "    def _on(self, message):\n"
+            "        print(message['anything'])\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_reply_without_call_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/flow.py":
+            "class Widget:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('flow.request', self._on_req)\n"
+            "    def kick(self):\n"
+            "        self.node.send('peer', 'flow.request', item=1)\n"
+            "    def _on_req(self, message):\n"
+            "        self.node.reply(message, ok=True)\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["M404"]
+    assert found[0].severity == "warning"
+    assert "fire-and-forget" in found[0].message
+
+
+def test_reply_to_a_call_is_clean(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/flow.py":
+            "class Widget:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('flow.request', self._on_req)\n"
+            "    def kick(self):\n"
+            "        self.node.call('peer', 'flow.request', timeout=5.0, item=1)\n"
+            "    def _on_req(self, message):\n"
+            "        self.node.reply(message, ok=True)\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+GROUP_FIXTURE_PRIMITIVE = (
+    "class ReliableBroadcast:\n"
+    "    def __init__(self, node, transport, group, deliver,\n"
+    "                 relay=True, trace=None, channel='rb.msg'):\n"
+    "        self.deliver = deliver\n"
+    "        self.channel = channel\n"
+    "    def broadcast(self, mtype, **body):\n"
+    "        pass\n"
+)
+
+
+def test_broadcast_mtype_guard_mismatch_flagged(tmp_path):
+    # The deliver callback guards for 'apply' but the binding only ever
+    # broadcasts 'aply': undeliverable on that binding (M401) and the
+    # guard waits forever (M402).
+    paths = tree(tmp_path, {
+        "src/repro/groupcomm/fixture.py":
+            GROUP_FIXTURE_PRIMITIVE
+            + "class App:\n"
+              "    def __init__(self, node, transport, group):\n"
+              "        self._rb = ReliableBroadcast(node, transport, group,\n"
+              "                                     self._on_deliver,\n"
+              "                                     channel='app.msg')\n"
+              "    def go(self):\n"
+              "        self._rb.broadcast('aply', item=1)\n"
+              "    def _on_deliver(self, origin, mtype, body):\n"
+              "        if mtype != 'apply':\n"
+              "            return\n"
+              "        print(body['item'])\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["M401", "M402"]
+    assert any("aply" in d.message for d in found)
+    assert any("guards for mtype 'apply'" in d.message for d in found)
+
+
+def test_broadcast_binding_matched_is_clean(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/groupcomm/fixture.py":
+            GROUP_FIXTURE_PRIMITIVE
+            + "class App:\n"
+              "    def __init__(self, node, transport, group):\n"
+              "        self._rb = ReliableBroadcast(node, transport, group,\n"
+              "                                     self._on_deliver,\n"
+              "                                     channel='app.msg')\n"
+              "    def go(self):\n"
+              "        self._rb.broadcast('apply', item=1)\n"
+              "    def _on_deliver(self, origin, mtype, body):\n"
+              "        if mtype != 'apply':\n"
+              "            return\n"
+              "        print(body['item'])\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_broadcast_body_key_never_sent_flagged(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/groupcomm/fixture.py":
+            GROUP_FIXTURE_PRIMITIVE
+            + "class App:\n"
+              "    def __init__(self, node, transport, group):\n"
+              "        self._rb = ReliableBroadcast(node, transport, group,\n"
+              "                                     self._on_deliver,\n"
+              "                                     channel='app.msg')\n"
+              "    def go(self):\n"
+              "        self._rb.broadcast('apply', item=1)\n"
+              "    def _on_deliver(self, origin, mtype, body):\n"
+              "        print(body['absent'])\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["M403"]
+    assert "absent" in found[0].message
+
+
+def test_on_default_catches_everything(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/flow.py":
+            "class Sink:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on_default(self._on_any)\n"
+            "    def kick(self):\n"
+            "        self.node.send('peer', 'whatever.type', item=1)\n"
+            "    def _on_any(self, message):\n"
+            "        print(message)\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppression, baseline, CLI
 # ---------------------------------------------------------------------------
 
@@ -492,6 +722,78 @@ def test_cli_write_baseline(tmp_path, capsys):
     assert lint_main([str(tmp_path), "--write-baseline",
                       "--baseline", str(baseline_file)]) == 0
     assert lint_main([str(tmp_path), "--baseline", str(baseline_file)]) == 0
+
+
+def test_cli_sarif_carries_same_findings_as_json(tmp_path, capsys):
+    tree(tmp_path, {
+        "src/repro/core/bad.py":
+            "import random\n"
+            "x = random.random()\n"
+            "def kick(node):\n"
+            "    node.send('peer', 'no.handler', item=1)\n",
+    })
+    assert lint_main([str(tmp_path), "--format", "json", "--no-baseline"]) == 1
+    as_json = json.loads(capsys.readouterr().out)
+    assert lint_main([str(tmp_path), "--format", "sarif", "--no-baseline"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.lint"
+    from_json = {(d["file"], d["line"], d["rule"]) for d in as_json}
+    from_sarif = {
+        (
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            r["locations"][0]["physicalLocation"]["region"]["startLine"],
+            r["ruleId"],
+        )
+        for r in run["results"]
+    }
+    assert from_json == from_sarif
+    assert {"D101", "M401"} <= {r["ruleId"] for r in run["results"]}
+    declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {r["ruleId"] for r in run["results"]} <= declared
+
+
+def test_cli_catalog_write_and_check(tmp_path, capsys):
+    source = {
+        "src/repro/core/flow.py":
+            "class Widget:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('flow.request', self._on_req)\n"
+            "    def kick(self):\n"
+            "        self.node.send('peer', 'flow.request', item=1)\n"
+            "    def _on_req(self, message):\n"
+            "        print(message['item'])\n",
+    }
+    paths = tree(tmp_path, source)
+    markdown = tmp_path / "messages.md"
+    assert lint_main(paths + ["--write-catalog", str(markdown)]) == 0
+    capsys.readouterr()
+    sibling = tmp_path / "messages.json"
+    assert markdown.exists() and sibling.exists()
+    assert "flow.request" in markdown.read_text()
+    payload = json.loads(sibling.read_text())
+    record = next(
+        t for t in payload["types"] if t["type"] == "flow.request"
+    )
+    assert record["payload_keys"] == ["item"]
+    assert record["required_reads"] == ["item"]
+
+    # Fresh catalog: check mode passes.
+    assert lint_main(paths + ["--check-catalog", str(markdown)]) == 0
+    capsys.readouterr()
+
+    # Source drifts: check mode fails and names the stale files.
+    flow = tmp_path / "src" / "repro" / "core" / "flow.py"
+    flow.write_text(
+        flow.read_text().replace("item=1", "item=1, extra=2")
+    )
+    assert lint_main(paths + ["--check-catalog", str(markdown)]) == 1
+    stderr = capsys.readouterr().err
+    assert "out of date" in stderr
+    assert "--write-catalog" in stderr
 
 
 def test_rule_catalogue_has_docs():
