@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint typecheck test baseline catalog catalog-check
+.PHONY: check lint typecheck test baseline catalog catalog-check observe
 
 check: lint typecheck catalog-check test
 
@@ -23,6 +23,13 @@ typecheck:
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Observed run of one technique (TECH=..., SEED=...): writes the
+# Perfetto trace, JSONL spans and metrics report to benchmarks/output/.
+TECH ?= active
+SEED ?= 1
+observe:
+	$(PYTHON) -m repro observe $(TECH) --seed $(SEED)
 
 # Regenerate the protocol message catalog (docs/messages.md + .json)
 # from the M4xx message-flow graph; `catalog-check` fails when the

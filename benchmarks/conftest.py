@@ -14,17 +14,29 @@ from typing import List, Optional
 import pytest
 
 from repro import Operation, ReplicatedSystem
+from repro.obs import write_artifacts
 from repro.viz import render_figure, render_phase_timeline
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 
 
-def report(name: str, text: str) -> str:
-    """Print a reproduction block and persist it to benchmarks/output/."""
+def report(name: str, text: str, system=None) -> str:
+    """Print a reproduction block and persist it to benchmarks/output/.
+
+    When ``system`` is an observed :class:`ReplicatedSystem`, the run's
+    span trace (Perfetto JSON + JSONL) and metrics report are written
+    beside the text artefact under the same stem.
+    """
     os.makedirs(OUTPUT_DIR, exist_ok=True)
     path = os.path.join(OUTPUT_DIR, f"{name}.txt")
     with open(path, "w") as handle:
         handle.write(text + "\n")
+    if system is not None and getattr(system, "observer", None) is not None:
+        node_order = system.replica_names + [c.name for c in system.clients]
+        write_artifacts(
+            system.observer, os.path.join(OUTPUT_DIR, name),
+            node_order=node_order, title=name,
+        )
     print()
     print(text)
     return path
@@ -37,11 +49,17 @@ def run_single_request(
     seed: int = 1,
     config: Optional[dict] = None,
     settle: float = 300.0,
+    observe: bool = True,
     **system_kwargs,
 ):
-    """Build a system, execute one request, let background work finish."""
+    """Build a system, execute one request, let background work finish.
+
+    Observed by default so every figure benchmark can drop its trace
+    beside its text output (pass the system to :func:`report`).
+    """
     system = ReplicatedSystem(
-        protocol, replicas=replicas, seed=seed, config=config, **system_kwargs
+        protocol, replicas=replicas, seed=seed, config=config,
+        observe=observe, **system_kwargs
     )
     result = system.execute(operations)
     system.settle(settle)

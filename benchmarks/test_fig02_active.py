@@ -37,4 +37,5 @@ def test_fig02_active_replication(once):
                 f"client latency: {result.latency:.1f}",
             ],
         ),
+        system=system,
     )

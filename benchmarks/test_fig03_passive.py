@@ -38,4 +38,5 @@ def test_fig03_passive_replication(once):
                 f"client latency: {result.latency:.1f}",
             ],
         ),
+        system=system,
     )

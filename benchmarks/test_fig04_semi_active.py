@@ -41,4 +41,5 @@ def test_fig04_semi_active_replication(once):
                 f"client latency: {result.latency:.1f}",
             ],
         ),
+        system=system,
     )

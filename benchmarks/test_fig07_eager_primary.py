@@ -42,4 +42,5 @@ def test_fig07_eager_primary(once):
                 f"client latency: {result.latency:.1f}",
             ],
         ),
+        system=system,
     )

@@ -38,4 +38,5 @@ def test_fig08_eager_ue_locking(once):
                 f"client latency: {result.latency:.1f}",
             ],
         ),
+        system=system,
     )

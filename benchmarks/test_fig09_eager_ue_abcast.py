@@ -40,4 +40,5 @@ def test_fig09_eager_ue_abcast(once):
                 f"client latency: {result.latency:.1f}",
             ],
         ),
+        system=system,
     )

@@ -44,4 +44,5 @@ def test_fig10_lazy_primary(once):
                 f"client latency: {result.latency:.1f} (vs ~4 for eager primary copy)",
             ],
         ),
+        system=system,
     )

@@ -54,4 +54,5 @@ def test_fig11_lazy_ue(once):
                 f"undone transactions: {undone}",
             ],
         ),
+        system=system,
     )

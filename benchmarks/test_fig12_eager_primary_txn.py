@@ -49,4 +49,5 @@ def test_fig12_eager_primary_transactions(once):
                 f"client latency: {result.latency:.1f}",
             ],
         ),
+        system=system,
     )

@@ -52,4 +52,5 @@ def test_fig13_eager_ue_locking_transactions(once):
                 f"client latency: {result.latency:.1f}",
             ],
         ),
+        system=system,
     )

@@ -49,4 +49,5 @@ def test_fig14_certification(once):
                 f"conflicting transaction {loser.request_id} aborted at all sites",
             ],
         ),
+        system=system,
     )

@@ -12,7 +12,10 @@ primary-copy eager pays propagation + 2PC; update-everywhere eager pays
 the most coordination; active/semi-* pay the ordering protocol.
 """
 
-from conftest import format_rows, report
+import os
+
+from conftest import OUTPUT_DIR, format_rows, report
+from repro.obs import write_artifacts
 from repro.workload import WorkloadSpec, run_workload
 
 TECHNIQUES = [
@@ -31,6 +34,13 @@ def sweep():
         system, driver, summary = run_workload(
             name, spec=SPEC, replicas=3, clients=2, requests_per_client=10,
             seed=21, think_time=10.0, settle=300.0, config=config,
+            observe=True,
+        )
+        write_artifacts(
+            system.observer,
+            os.path.join(OUTPUT_DIR, f"perf_response_time_{name}"),
+            node_order=system.replica_names + [c.name for c in system.clients],
+            title=f"perf_response_time {name}",
         )
         rows[name] = summary
     return rows
@@ -58,13 +68,17 @@ def test_perf_response_time(once):
 
     table = [
         [name, f"{rows[name].latency.mean:.2f}", f"{rows[name].latency.p95:.2f}",
-         f"{rows[name].abort_rate:.2f}"]
+         f"{rows[name].latency.p99:.2f}", f"{rows[name].abort_rate:.2f}"]
         for name in sorted(TECHNIQUES, key=lambda n: mean[n])
     ]
     report(
         "perf_response_time",
         "Performance study: response time (identical update workload, "
         "3 replicas, 2 clients, latency unit = 1 per hop)\n\n"
-        + format_rows(["technique", "mean latency", "p95 latency", "abort rate"], table)
+        + format_rows(
+            ["technique", "mean latency", "p95 latency", "p99 latency",
+             "abort rate"],
+            table,
+        )
         + "\n\nshape: lazy < primary-eager < coordinated update-everywhere",
     )

@@ -11,6 +11,10 @@ Commands
     trade-off table (latency, messages, aborts, convergence).
 ``run TECHNIQUE [--replicas N] [--requests N] [--seed N]``
     Drive one technique and print its summary plus phase row.
+``observe TECHNIQUE [--replicas N] [--requests N] [--seed N] [--out DIR]``
+    Drive one technique with span tracing and metrics enabled and write
+    the three run artifacts (Perfetto-loadable ``.trace.json``, JSONL
+    spans, plain-text metrics report); see docs/observability.md.
 ``lint [paths] [options]``
     Run the static determinism/layering/contract linter
     (delegates to ``python -m repro.lint``; see docs/linting.md).
@@ -55,12 +59,13 @@ def cmd_figures(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_one(name: str, args: argparse.Namespace):
+def _run_one(name: str, args: argparse.Namespace, observe: bool = False):
     spec = WorkloadSpec(items=8, read_fraction=0.0)
     return run_workload(
         name, spec=spec, replicas=args.replicas, clients=2,
         requests_per_client=args.requests, seed=args.seed,
         think_time=10.0, settle=500.0, config={"abcast": "sequencer"},
+        observe=observe,
     )
 
 
@@ -100,6 +105,34 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_observe(args: argparse.Namespace) -> int:
+    import os
+
+    from .obs import write_artifacts
+
+    if args.technique not in REGISTRY:
+        print(f"unknown technique {args.technique!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    system, driver, summary = _run_one(args.technique, args, observe=True)
+    stem = os.path.join(args.out, f"observe_{args.technique}_seed{args.seed}")
+    node_order = system.replica_names + [c.name for c in system.clients]
+    paths = write_artifacts(
+        system.observer, stem, node_order=node_order,
+        title=f"{args.technique} seed={args.seed}",
+    )
+    print(f"technique    : {system.info.title} ({system.info.figure})")
+    print(f"requests     : {summary.requests} "
+          f"({summary.committed} committed, {summary.aborted} aborted)")
+    print(f"spans        : {len(system.observer.tracer.spans)}")
+    print()
+    print(system.observer.metrics.report(
+        title=f"{args.technique} seed={args.seed}"))
+    for kind in sorted(paths):
+        print(f"{kind:7s} -> {paths[kind]}")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -116,16 +149,20 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list implemented techniques")
     sub.add_parser("figures", help="render the paper's figures from live runs")
-    for command in ("compare", "run"):
+    for command in ("compare", "run", "observe"):
         sp = sub.add_parser(command)
-        if command == "run":
+        if command in ("run", "observe"):
             sp.add_argument("technique")
         sp.add_argument("--replicas", type=int, default=3)
         sp.add_argument("--requests", type=int, default=10)
         sp.add_argument("--seed", type=int, default=7)
+        if command == "observe":
+            sp.add_argument("--out", default="benchmarks/output",
+                            help="directory receiving the run artifacts")
     args = parser.parse_args(argv)
     return {"list": cmd_list, "figures": cmd_figures,
-            "compare": cmd_compare, "run": cmd_run}[args.command](args)
+            "compare": cmd_compare, "run": cmd_run,
+            "observe": cmd_observe}[args.command](args)
 
 
 if __name__ == "__main__":

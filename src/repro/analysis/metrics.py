@@ -24,13 +24,14 @@ class LatencyStats:
     mean: float
     p50: float
     p95: float
+    p99: float
     maximum: float
 
     @staticmethod
     def of(values: Iterable[float]) -> "LatencyStats":
         data = sorted(values)
         if not data:
-            return LatencyStats(0, 0.0, 0.0, 0.0, 0.0)
+            return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
         def percentile(q: float) -> float:
             index = min(len(data) - 1, max(0, math.ceil(q * len(data)) - 1))
@@ -41,13 +42,15 @@ class LatencyStats:
             mean=sum(data) / len(data),
             p50=percentile(0.50),
             p95=percentile(0.95),
+            p99=percentile(0.99),
             maximum=data[-1],
         )
 
     def __repr__(self) -> str:
         return (
             f"<LatencyStats n={self.count} mean={self.mean:.2f} "
-            f"p50={self.p50:.2f} p95={self.p95:.2f} max={self.maximum:.2f}>"
+            f"p50={self.p50:.2f} p95={self.p95:.2f} p99={self.p99:.2f} "
+            f"max={self.maximum:.2f}>"
         )
 
 
@@ -78,6 +81,7 @@ class WorkloadSummary:
             "abort_rate": round(self.abort_rate, 4),
             "mean_latency": round(self.latency.mean, 3),
             "p95_latency": round(self.latency.p95, 3),
+            "p99_latency": round(self.latency.p99, 3),
             "throughput": round(self.throughput, 4),
             "retries": self.retries,
         }

@@ -159,16 +159,24 @@ class PhaseTracer:
     ``"phase"`` with payload ``request``, ``phase``, ``mechanism``.  The
     observation helpers reconstruct, per request, the phase sequence as it
     unfolded at a given replica or across the system.
+
+    With an :class:`~repro.obs.Observer` attached, every record also
+    opens a phase *span* — the previous phase of the same (source,
+    request) pair ends when the next begins, turning the paper's phase
+    row into measurable per-phase latency.
     """
 
-    def __init__(self, trace: TraceLog) -> None:
+    def __init__(self, trace: TraceLog, obs: Optional[object] = None) -> None:
         self.trace = trace
+        self.obs = obs
 
     def record(self, source: str, request_id: object, phase: str, mechanism: str = "") -> None:
         """Report that ``source`` entered ``phase`` on behalf of a request."""
         if phase not in PHASE_ORDER:
             raise ValueError(f"unknown phase {phase!r}")
         self.trace.record("phase", source, request=request_id, phase=phase, mechanism=mechanism)
+        if self.obs is not None:
+            self.obs.on_phase(source, request_id, phase, mechanism)
 
     def observed_sequence(
         self,

@@ -74,12 +74,13 @@ class ActiveReplication(ReplicaProtocol):
         flavour = config.get("abcast", "consensus")
         if flavour == "sequencer":
             self.abcast = SequencerAtomicBroadcast(
-                replica.node, replica.transport, group, self._on_deliver
+                replica.node, replica.transport, group, self._on_deliver,
+                trace=replica.system.trace,
             )
         else:
             self.abcast = ConsensusAtomicBroadcast(
                 replica.node, replica.transport, group, replica.detector,
-                self._on_deliver,
+                self._on_deliver, trace=replica.system.trace,
             )
         self._executed: Set[str] = set()
         self._awaiting_order: Dict[str, tuple] = {}

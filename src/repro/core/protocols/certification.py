@@ -100,17 +100,19 @@ class CertificationReplication(ReplicaProtocol):
                 replica.node, replica.transport, group, replica.detector,
                 opt_deliver=self._on_tentative,
                 final_deliver=self._on_final_optimistic,
-                flavour=flavour, channel_prefix="cert",
+                flavour=flavour, trace=replica.system.trace,
+                channel_prefix="cert",
             )
         elif flavour == "sequencer":
             self.abcast = SequencerAtomicBroadcast(
                 replica.node, replica.transport, group, self._on_deliver,
-                channel_prefix="cert",
+                trace=replica.system.trace, channel_prefix="cert",
             )
         else:
             self.abcast = ConsensusAtomicBroadcast(
                 replica.node, replica.transport, group, replica.detector,
-                self._on_deliver, channel_prefix="cert",
+                self._on_deliver, trace=replica.system.trace,
+                channel_prefix="cert",
             )
         self._certified: Set[str] = set()
         self._local_values: Dict[str, list] = {}

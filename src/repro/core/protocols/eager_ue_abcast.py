@@ -81,12 +81,13 @@ class EagerUpdateEverywhereAbcast(ReplicaProtocol):
         if flavour == "sequencer":
             self.abcast = SequencerAtomicBroadcast(
                 replica.node, replica.transport, group, self._on_deliver,
-                channel_prefix="ueab",
+                trace=replica.system.trace, channel_prefix="ueab",
             )
         else:
             self.abcast = ConsensusAtomicBroadcast(
                 replica.node, replica.transport, group, replica.detector,
-                self._on_deliver, channel_prefix="ueab",
+                self._on_deliver, trace=replica.system.trace,
+                channel_prefix="ueab",
             )
         self._executed: Set[str] = set()
 

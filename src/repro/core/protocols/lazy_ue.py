@@ -90,14 +90,14 @@ class LazyUpdateEverywhere(ReplicaProtocol):
         elif self.policy == "abcast":
             self._abcast = SequencerAtomicBroadcast(
                 replica.node, replica.transport, group, self._on_ordered,
-                channel_prefix="lue.ab",
+                trace=replica.system.trace, channel_prefix="lue.ab",
             )
         else:
             raise ValueError(f"unknown reconciliation policy {self.policy!r}")
         self._stamp_seq = itertools.count(1)
         self._rb = ReliableBroadcast(
             replica.node, replica.transport, group, self._on_propagated,
-            channel="lue.prop",
+            trace=replica.system.trace, channel="lue.prop",
         )
 
     # -- request path -----------------------------------------------------------

@@ -75,12 +75,13 @@ class SemiActiveReplication(ReplicaProtocol):
         if flavour == "sequencer":
             self.abcast = SequencerAtomicBroadcast(
                 replica.node, replica.transport, group, self._on_deliver,
-                channel_prefix="sa.ab",
+                trace=replica.system.trace, channel_prefix="sa.ab",
             )
         else:
             self.abcast = ConsensusAtomicBroadcast(
                 replica.node, replica.transport, group, replica.detector,
-                self._on_deliver, channel_prefix="sa.ab",
+                self._on_deliver, trace=replica.system.trace,
+                channel_prefix="sa.ab",
             )
         self.view_group = ViewSyncGroup(
             replica.node, replica.transport, replica.detector, group,

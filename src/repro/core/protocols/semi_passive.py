@@ -70,6 +70,7 @@ class SemiPassiveReplication(ReplicaProtocol):
             group,
             replica.detector,
             self._on_decide,
+            trace=replica.system.trace,
             channel_prefix="sp.ct",
         )
         # Requests are re-disseminated reliably among the replicas: the
@@ -78,7 +79,7 @@ class SemiPassiveReplication(ReplicaProtocol):
         # messages, partitions) must eventually spread to everyone.
         self._spread = ReliableBroadcast(
             replica.node, replica.transport, group, self._on_spread,
-            channel="sp.req",
+            trace=replica.system.trace, channel="sp.req",
         )
         self._pending: List[tuple] = []       # (request, client) FIFO
         self._pending_ids: Set[str] = set()

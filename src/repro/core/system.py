@@ -26,6 +26,7 @@ from ..errors import ReplicationError
 from ..failures import FailureDetector, FailureInjector
 from ..groupcomm import ReliableTransport
 from ..net import ConstantLatency, LatencyModel, Message, Network, Node
+from ..obs import Observer
 from ..sim import Future, Simulator, TraceLog
 from .operations import Operation, Request, Result
 from .phases import PhaseTracer, RE
@@ -93,7 +94,9 @@ class ReplicaNode:
         self.system = system
         self.name = name
         self.node = _HostNode(system.sim, system.net, name, self)
-        self.tm = TransactionManager(system.sim, site=name, lock_timeout=lock_timeout)
+        self.tm = TransactionManager(
+            system.sim, site=name, lock_timeout=lock_timeout, obs=system.observer
+        )
         self.transport = ReliableTransport(self.node)
         self.detector = FailureDetector(
             self.node,
@@ -182,6 +185,8 @@ class ClientNode:
             "timer": None,
         }
         self._pending[request.request_id] = entry
+        if self.system.observer is not None:
+            self.system.observer.on_request_submit(request.request_id, self.name)
         self._dispatch(entry)
         return future
 
@@ -220,10 +225,20 @@ class ClientNode:
         request = entry["request"]
         targets = self._targets(entry)
         entry["last_targets"] = targets
-        for target in targets:
-            self.node.send(target, CLIENT_REQUEST, request=request.as_wire())
+        observer = self.system.observer
+        if observer is not None:
+            # Dispatch inside the root span's context so the outgoing
+            # client.request flights become its children.
+            with observer.request_context(request.request_id):
+                self._send_request(targets, request)
+        else:
+            self._send_request(targets, request)
         if self.timeout is not None:
             entry["timer"] = self.node.after(self.timeout, self._on_timeout, request.request_id)
+
+    def _send_request(self, targets: List[str], request: Request) -> None:
+        for target in targets:
+            self.node.send(target, CLIENT_REQUEST, request=request.as_wire())
 
     def _on_timeout(self, request_id: str) -> None:
         entry = self._pending.get(request_id)
@@ -253,6 +268,8 @@ class ClientNode:
                                   reason="client gave up", server="")
             entry["future"].set_result(result)
             return
+        if self.system.observer is not None:
+            self.system.observer.metrics.inc("requests.resubmitted")
         # Reconnect: primaries are re-resolved from the directory; local
         # clients fail over to the next live replica.
         if self.policy == "local" and self.system.replicas[self.home].crashed:
@@ -287,6 +304,10 @@ class ClientNode:
             operations=entry["request"].operations,
         )
         self.results.append(result)
+        if self.system.observer is not None:
+            self.system.observer.on_request_complete(
+                result.request_id, committed, reason=reason, retries=result.retries
+            )
         return result
 
     def __repr__(self) -> str:
@@ -314,6 +335,16 @@ class ReplicatedSystem:
         ``"all"``) techniques and 120 time units otherwise.
     config:
         Protocol-specific options (documented per protocol class).
+    observe:
+        When true, build a :class:`~repro.obs.Observer` and thread it
+        through the network, phase tracer and transaction managers: every
+        client request opens a root span, and message flights, handler
+        invocations, phases and lock waits become child spans.  Metrics
+        accumulate in ``system.observer.metrics``.  Off by default — an
+        unobserved run takes the exact same scheduling decisions.
+    trace_max_events:
+        Optional ring-buffer bound on the structured trace log (oldest
+        events are discarded past the bound); ``None`` keeps everything.
     """
 
     def __init__(
@@ -330,6 +361,8 @@ class ReplicatedSystem:
         client_timeout: Optional[float] = None,
         max_client_retries: int = 10,
         config: Optional[dict] = None,
+        observe: bool = False,
+        trace_max_events: Optional[int] = None,
     ) -> None:
         if protocol not in REGISTRY:
             raise ReplicationError(
@@ -340,13 +373,17 @@ class ReplicatedSystem:
         self.info: ProtocolInfo = self.protocol_cls.info
         self.seed = seed
         self.sim = Simulator(seed=seed)
-        self.trace = TraceLog(self.sim)
-        self.tracer = PhaseTracer(self.trace)
+        self.trace = TraceLog(self.sim, max_events=trace_max_events)
+        self.observer: Optional[Observer] = Observer(self.sim) if observe else None
+        if self.observer is not None:
+            self.observer.attach(self.trace)
+        self.tracer = PhaseTracer(self.trace, obs=self.observer)
         self.net = Network(
             self.sim,
             latency=latency if latency is not None else ConstantLatency(1.0),
             loss_rate=loss_rate,
             trace=None,
+            obs=self.observer,
         )
         self.injector = FailureInjector(self.sim, self.net, trace=self.trace)
         self.replica_names = [f"r{i}" for i in range(replicas)]

@@ -31,13 +31,15 @@ WRITE = "w"
 
 
 class _Request:
-    __slots__ = ("txn", "mode", "future", "timer")
+    __slots__ = ("txn", "mode", "future", "timer", "span", "wait_start")
 
     def __init__(self, txn, mode: str, future: Future, timer=None) -> None:
         self.txn = txn
         self.mode = mode
         self.future = future
         self.timer = timer
+        self.span = None          # observability: open lock-wait span
+        self.wait_start = 0.0
 
 
 class LockManager:
@@ -49,13 +51,15 @@ class LockManager:
     long-running transactions.
     """
 
-    def __init__(self, sim: Simulator, name: str = "") -> None:
+    def __init__(self, sim: Simulator, name: str = "", obs=None) -> None:
         self.sim = sim
         self.name = name
+        self.obs = obs  # optional duck-typed observer (repro.obs)
         self._holders: Dict[str, Dict[object, str]] = {}
         self._queues: Dict[str, List[_Request]] = {}
         self._held_by_txn: Dict[object, Set[str]] = {}
         self._ages: Dict[object, int] = {}
+        self._grant_times: Dict[Tuple[object, str], float] = {}
         self._arrivals = itertools.count(1)
         self.deadlocks_detected = 0
         self.timeouts = 0
@@ -76,9 +80,14 @@ class LockManager:
         future = self.sim.future(label=f"lock:{item}:{mode}:{txn}")
         if self._can_grant(txn, item, mode):
             self._grant(txn, item, mode)
+            if self.obs is not None:
+                self.obs.on_lock_granted(None, 0.0)
             future.set_result(True)
             return future
         request = _Request(txn, mode, future)
+        if self.obs is not None:
+            request.span = self.obs.on_lock_wait(self.name, txn, item, mode)
+            request.wait_start = self.sim.now
         if timeout is not None:
             request.timer = self.sim.schedule(timeout, self._expire, item, request)
         self._queues.setdefault(item, []).append(request)
@@ -107,6 +116,8 @@ class LockManager:
         current = holders.get(txn)
         holders[txn] = WRITE if WRITE in (current, mode) else READ
         self._held_by_txn.setdefault(txn, set()).add(item)
+        if self.obs is not None:
+            self._grant_times.setdefault((txn, item), self.sim.now)
 
     # -- release -----------------------------------------------------------------
 
@@ -117,6 +128,10 @@ class LockManager:
             holders.pop(txn, None)
             if not holders:
                 self._holders.pop(item, None)
+            if self.obs is not None:
+                granted_at = self._grant_times.pop((txn, item), None)
+                if granted_at is not None:
+                    self.obs.on_lock_released(self.sim.now - granted_at)
             self._wake(item)
         # Remove any still-queued requests (aborted while waiting).
         for item, queue in list(self._queues.items()):
@@ -150,6 +165,10 @@ class LockManager:
                 queue.pop(0)
                 self._cancel_request(head)
                 self._grant(head.txn, item, head.mode)
+                if self.obs is not None:
+                    self.obs.on_lock_granted(
+                        head.span, self.sim.now - head.wait_start
+                    )
                 head.future.set_result(True)
             else:
                 granted = False
@@ -164,6 +183,8 @@ class LockManager:
             return
         queue.remove(request)
         self.timeouts += 1
+        if self.obs is not None:
+            self.obs.on_lock_failed(request.span, "timeout")
         request.future.set_exception(
             TransactionAborted(request.txn, "lock wait timeout")
         )
@@ -175,6 +196,8 @@ class LockManager:
             return
         victim = max(cycle, key=lambda t: self._ages.get(t, 0))
         self.deadlocks_detected += 1
+        if self.obs is not None:
+            self.obs.on_deadlock()
         self._abort_waiting(victim)
 
     def _abort_waiting(self, victim: object) -> None:
@@ -184,6 +207,8 @@ class LockManager:
             for request in queue:
                 if request.txn == victim and not request.future.done:
                     self._cancel_request(request)
+                    if self.obs is not None:
+                        self.obs.on_lock_failed(request.span, "deadlock")
                     request.future.set_exception(
                         TransactionAborted(victim, "deadlock victim")
                     )

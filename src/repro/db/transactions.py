@@ -134,6 +134,10 @@ class TransactionManager:
         Optional lock-wait timeout applied to all lock requests; the
         distributed-locking replication protocol relies on it to break
         cross-site deadlocks that no single site can see.
+    obs:
+        Optional duck-typed observer (:mod:`repro.obs`), threaded into the
+        lock manager and notified on commit/abort.  The db layer never
+        imports the observability layer.
     """
 
     def __init__(
@@ -141,12 +145,14 @@ class TransactionManager:
         sim: Simulator,
         site: str = "db",
         lock_timeout: Optional[float] = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.site = site
         self.lock_timeout = lock_timeout
+        self.obs = obs
         self.store = DataStore(site)
-        self.locks = LockManager(sim, name=site)
+        self.locks = LockManager(sim, name=site, obs=obs)
         self.wal = WriteAheadLog(site)
         self.active: Dict[object, Transaction] = {}
         self._txn_ids = itertools.count(1)
@@ -200,6 +206,8 @@ class TransactionManager:
         self.active.pop(txn.txn_id, None)
         self.locks.release_all(txn.txn_id)
         self.committed_count += 1
+        if self.obs is not None:
+            self.obs.on_txn_commit(self.site)
         return updates
 
     def _abort_internal(self, txn: Transaction, reason: str) -> None:
@@ -209,6 +217,8 @@ class TransactionManager:
         self.active.pop(txn.txn_id, None)
         self.locks.release_all(txn.txn_id)
         self.aborted_count += 1
+        if self.obs is not None:
+            self.obs.on_txn_abort(self.site, reason)
 
     def __repr__(self) -> str:
         return (

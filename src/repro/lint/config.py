@@ -19,6 +19,11 @@ from typing import Any, Dict
 #     errors -> sim -> net -> failures -> {groupcomm, db} -> core
 #            -> {analysis, workload, viz}
 #
+# with the observability layer slotted between ``net`` and ``core``:
+# ``obs`` may depend on ``sim``/``net``; ``core`` (and the entry points
+# above it) may depend on ``obs``; the layers *below* ``core`` hold only
+# duck-typed, optional observer references — never the import.
+#
 # ``ALLOWED_DEPS[p]`` lists every package that modules inside ``p`` may
 # import from.  A package never appears in its own entry (intra-package
 # imports are always legal), and ``lint`` is deliberately standalone so the
@@ -28,10 +33,13 @@ ALLOWED_DEPS = {
     "errors": frozenset(),
     "sim": frozenset({"errors"}),
     "net": frozenset({"errors", "sim"}),
+    "obs": frozenset({"errors", "sim", "net"}),
     "failures": frozenset({"errors", "sim", "net"}),
     "groupcomm": frozenset({"errors", "sim", "net", "failures"}),
     "db": frozenset({"errors", "sim", "net", "failures"}),
-    "core": frozenset({"errors", "sim", "net", "failures", "groupcomm", "db"}),
+    "core": frozenset(
+        {"errors", "sim", "net", "obs", "failures", "groupcomm", "db"}
+    ),
     "analysis": frozenset(
         {"errors", "sim", "net", "failures", "groupcomm", "db", "core"}
     ),
@@ -56,7 +64,7 @@ TOP_LEVEL_MAY_IMPORT_ANYTHING = True
 # exempt (they still must not perturb a run, but they hold no simulated
 # state).
 DETERMINISTIC_PACKAGES = frozenset(
-    {"core", "groupcomm", "db", "net", "failures", "sim"}
+    {"core", "groupcomm", "db", "net", "failures", "sim", "obs"}
 )
 
 # ``random.<fn>()`` calls share the interpreter-global Mersenne state; any

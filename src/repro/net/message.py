@@ -32,9 +32,17 @@ class Message:
         Simulated time at which the message entered the network.
     reply_to:
         Correlation id for request/reply exchanges (see ``Node.call``).
+    span_id:
+        Observability metadata: id of the flight span an observer opened
+        for this envelope (``None`` when the run is not observed).  It
+        piggybacks on the envelope — not the payload — so observed and
+        unobserved runs put identical bytes on the simulated wire.
     """
 
-    __slots__ = ("msg_id", "src", "dst", "type", "payload", "send_time", "reply_to")
+    __slots__ = (
+        "msg_id", "src", "dst", "type", "payload", "send_time", "reply_to",
+        "span_id",
+    )
 
     def __init__(
         self,
@@ -53,6 +61,7 @@ class Message:
         self.payload = payload if payload is not None else {}
         self.send_time = send_time
         self.reply_to = reply_to
+        self.span_id: Optional[int] = None
 
     def __getitem__(self, key: str) -> Any:
         return self.payload[key]

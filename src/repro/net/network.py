@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter
-from typing import Dict, FrozenSet, Iterable, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, TYPE_CHECKING
 
 from ..errors import NetworkError, SimulationError
 from ..sim import Simulator, TraceLog
@@ -78,6 +78,11 @@ class Network:
         never overtake an earlier message on the same link.
     trace:
         Optional :class:`TraceLog` receiving a ``message`` event per send.
+    obs:
+        Optional observer (duck-typed, see :mod:`repro.obs`): opens a
+        flight span per send and closes it at delivery or drop.  The
+        network never imports the observability layer — ``obs`` sits
+        above ``net`` in the import DAG.
     """
 
     def __init__(
@@ -87,6 +92,7 @@ class Network:
         loss_rate: float = 0.0,
         fifo: bool = True,
         trace: Optional[TraceLog] = None,
+        obs: Optional[Any] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -95,6 +101,7 @@ class Network:
         self.loss_rate = loss_rate
         self.fifo = fifo
         self.trace = trace
+        self.obs = obs
         self.stats = NetworkStats()
         self._nodes: Dict[str, "Node"] = {}
         self._partition: Optional[List[FrozenSet[str]]] = None
@@ -169,6 +176,8 @@ class Network:
         self.stats.by_type[type] += 1
         if self.trace is not None:
             self.trace.record("message", src, dst=dst, type=type, msg_id=message.msg_id)
+        if self.obs is not None:
+            self.obs.on_message_send(message)
         self._route(message)
         return message
 
@@ -186,14 +195,17 @@ class Network:
         sender = self._nodes.get(message.src)
         if sender is not None and sender.crashed:
             self.stats.dropped_crash += 1
+            self._drop(message, "crash")
             return
         if message.dst not in self._nodes:
             raise NetworkError(f"unknown destination {message.dst!r}")
         if not self._same_side(message.src, message.dst):
             self.stats.dropped_partition += 1
+            self._drop(message, "partition")
             return
         if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
             self.stats.dropped_loss += 1
+            self._drop(message, "loss")
             return
         delay = self.latency.sample(self.sim.rng, message.src, message.dst)
         arrival = self.sim.now + delay
@@ -207,13 +219,21 @@ class Network:
         node = self._nodes.get(message.dst)
         if node is None or node.crashed:
             self.stats.dropped_crash += 1
+            self._drop(message, "crash")
             return
         if not self._same_side(message.src, message.dst):
             # Partition formed while the message was in flight.
             self.stats.dropped_partition += 1
+            self._drop(message, "partition")
             return
         self.stats.delivered += 1
+        if self.obs is not None:
+            self.obs.on_message_deliver(message)
         node._dispatch(message)
+
+    def _drop(self, message: Message, cause: str) -> None:
+        if self.obs is not None:
+            self.obs.on_message_drop(message, cause)
 
     def __repr__(self) -> str:
         return f"<Network nodes={len(self._nodes)} {self.stats!r}>"

@@ -128,6 +128,17 @@ class Node:
     def _dispatch(self, message: Message) -> None:
         if self.crashed:
             return
+        obs = self.network.obs
+        if obs is not None and message.span_id is not None:
+            # Bracket the handler in a span parented under the message's
+            # flight span, so work it performs — phase records, further
+            # sends — lands in the request's causal tree.
+            with obs.handler_context(self.name, message):
+                self._dispatch_inner(message)
+        else:
+            self._dispatch_inner(message)
+
+    def _dispatch_inner(self, message: Message) -> None:
         if message.type == REPLY_TYPE and message.reply_to is not None:
             future = self._pending_calls.pop(message.reply_to, None)
             if future is not None and not future.done:

@@ -1,0 +1,36 @@
+"""repro.obs — observability: causal span tracing, metrics, exporters.
+
+The cross-cutting layer that makes runs *explainable*: every client
+request becomes a trace of causally linked spans (phases, message
+flights, handler invocations, lock waits, group-communication rounds),
+every layer's counters land in one metrics registry, and both export
+deterministically — Chrome trace-event JSON (Perfetto), JSONL spans and
+a plain-text metrics report.
+
+Layering: ``obs`` may depend on ``errors``/``sim``/``net``; the layers
+it observes (``net``, ``db``, ``groupcomm``) never import it back —
+they hold an optional duck-typed :class:`Observer` injected by
+:class:`~repro.core.system.ReplicatedSystem` (``observe=True``).  See
+``docs/observability.md``.
+"""
+
+from .export import chrome_trace, spans_jsonl, write_artifacts
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .observer import Observer, abort_reason_label
+from .spans import INSTANT, SPAN, Span, SpanTracer
+
+__all__ = [
+    "chrome_trace",
+    "spans_jsonl",
+    "write_artifacts",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "abort_reason_label",
+    "Span",
+    "SpanTracer",
+    "SPAN",
+    "INSTANT",
+]

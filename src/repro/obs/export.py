@@ -1,0 +1,140 @@
+"""Span and metrics exporters.
+
+Three formats, all byte-deterministic for a given span set:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace`) — loadable in
+  Perfetto / ``chrome://tracing``.  One track (tid) per node, complete
+  (``"X"``) events for interval spans, instant (``"i"``) events for
+  point events, and flow arrows (``"s"``/``"f"``) tying each message's
+  send to its delivery across tracks.  One simulated time unit is
+  rendered as one millisecond (Chrome timestamps are microseconds).
+* **JSONL spans** (:func:`spans_jsonl`) — one JSON object per span in
+  id order; the machine-readable form the regression tests byte-compare.
+* **Plain-text metrics report** — :meth:`MetricsRegistry.report`,
+  written beside the traces by :func:`write_artifacts`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from .observer import Observer
+from .spans import INSTANT, Span
+
+__all__ = ["chrome_trace", "spans_jsonl", "write_artifacts"]
+
+# Simulated-time unit -> Chrome microseconds (1 unit rendered as 1 ms).
+_TS_SCALE = 1000.0
+
+
+def _track_order(spans: Sequence[Span], node_order: Optional[Sequence[str]]) -> List[str]:
+    """Deterministic tid assignment: declared node order, then the rest."""
+    seen = {span.source for span in spans}
+    ordered = [name for name in (node_order or []) if name in seen]
+    ordered += sorted(seen - set(ordered))
+    return ordered
+
+
+def chrome_trace(
+    spans: Sequence[Span],
+    node_order: Optional[Sequence[str]] = None,
+    process_name: str = "repro",
+) -> str:
+    """Render spans as Chrome trace-event JSON (Perfetto-loadable)."""
+    tracks = _track_order(spans, node_order)
+    tid_of = {name: index for index, name in enumerate(tracks)}
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+         "args": {"name": process_name}},
+    ]
+    for name in tracks:
+        events.append({"ph": "M", "pid": 0, "tid": tid_of[name],
+                       "name": "thread_name", "args": {"name": name}})
+        events.append({"ph": "M", "pid": 0, "tid": tid_of[name],
+                       "name": "thread_sort_index",
+                       "args": {"sort_index": tid_of[name]}})
+    for span in spans:
+        args = {"span_id": span.span_id, "parent_id": span.parent_id,
+                "trace_id": span.trace_id, "status": span.status}
+        args.update(span.attrs)
+        tid = tid_of[span.source]
+        start = span.start * _TS_SCALE
+        if span.kind == INSTANT:
+            events.append({"ph": "i", "pid": 0, "tid": tid, "ts": start,
+                           "s": "t", "name": span.name, "cat": span.category,
+                           "args": args})
+            continue
+        end = (span.end if span.end is not None else span.start) * _TS_SCALE
+        events.append({"ph": "X", "pid": 0, "tid": tid, "ts": start,
+                       "dur": end - start, "name": span.name,
+                       "cat": span.category, "args": args})
+        if span.category == "message" and span.status == "ok":
+            # Flow arrow from the send on the source track to the arrival
+            # on the destination track.
+            dst = span.attrs.get("dst")
+            if dst in tid_of:
+                events.append({"ph": "s", "pid": 0, "tid": tid, "ts": start,
+                               "id": span.span_id, "name": "flight",
+                               "cat": "message"})
+                events.append({"ph": "f", "pid": 0, "tid": tid_of[dst],
+                               "ts": end, "id": span.span_id, "bp": "e",
+                               "name": "flight", "cat": "message"})
+    document = {"displayTimeUnit": "ms", "traceEvents": events}
+    return json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def spans_jsonl(spans: Sequence[Span]) -> str:
+    """One JSON object per span, in span-id order, keys sorted."""
+    lines = []
+    for span in sorted(spans, key=lambda s: s.span_id):
+        lines.append(json.dumps(
+            {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "trace_id": span.trace_id,
+                "name": span.name,
+                "category": span.category,
+                "kind": span.kind,
+                "source": span.source,
+                "start": span.start,
+                "end": span.end,
+                "status": span.status,
+                "attrs": span.attrs,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_artifacts(
+    observer: Observer,
+    stem: str,
+    node_order: Optional[Sequence[str]] = None,
+    title: str = "metrics",
+) -> Dict[str, str]:
+    """Write the three run artifacts next to each other.
+
+    ``stem`` is a path without extension; the files written are
+    ``<stem>.trace.json``, ``<stem>.spans.jsonl`` and
+    ``<stem>.metrics.txt``.  Returns format -> path.
+    """
+    observer.finalize()
+    directory = os.path.dirname(stem)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    paths = {
+        "trace": f"{stem}.trace.json",
+        "spans": f"{stem}.spans.jsonl",
+        "metrics": f"{stem}.metrics.txt",
+    }
+    with open(paths["trace"], "w") as handle:
+        handle.write(chrome_trace(observer.tracer.spans, node_order=node_order,
+                                  process_name=title))
+    with open(paths["spans"], "w") as handle:
+        handle.write(spans_jsonl(observer.tracer.spans))
+    with open(paths["metrics"], "w") as handle:
+        handle.write(observer.metrics.report(title=title))
+    return paths

@@ -1,0 +1,292 @@
+"""The observer: one object bundling a span tracer and a metrics registry.
+
+Instrumented layers below ``obs`` in the import DAG (``net``, ``db``)
+never import this module — they hold an *optional, duck-typed* observer
+and guard every hook with a ``None`` check, which keeps instrumentation
+zero-cost when disabled and keeps the architecture acyclic (``obs`` may
+depend on ``sim``/``net``; nothing below ``core`` depends on ``obs``).
+The hooks below are therefore the whole contract between the
+observability layer and the system it watches.
+
+Causality model (one root per client request):
+
+* ``on_request_submit`` opens the root span; the client pushes it while
+  dispatching, so the outgoing ``client.request`` messages are children.
+* ``on_message_send`` opens a flight span under the current context and
+  stamps its id onto the envelope; ``on_message_deliver`` /
+  ``on_message_drop`` close it.
+* ``handler_context`` brackets a receiving node's handler with a span
+  parented under the flight span — re-entering the request's causal tree
+  on the other side of the wire.
+* ``on_phase`` turns the five-phase records into phase spans: each phase
+  of a (source, request) pair ends when the next one starts.
+* lock hooks wrap 2PL waits; the trace-log bridge converts group
+  communication, failure-detector, 2PC and fault-injection records into
+  instant events and counters.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .spans import Span, SpanTracer
+
+__all__ = ["Observer", "abort_reason_label"]
+
+# Trace-log categories bridged into instant group-communication events.
+_GC_CATEGORIES = frozenset(
+    {"abcast", "rbcast", "fifo", "causal", "optab", "consensus", "view"}
+)
+
+_ABORT_KEYWORDS = (
+    ("deadlock", "deadlock"),
+    ("timeout", "timeout"),
+    ("crash", "crash"),
+    ("certif", "certification"),
+    ("conflict", "conflict"),
+    ("vote", "vote-no"),
+    ("client abort", "client"),
+)
+
+
+def abort_reason_label(reason: str) -> str:
+    """Collapse free-form abort reasons to a bounded label set.
+
+    Reasons often embed transaction ids (``"transaction r0:t3 aborted:
+    lock wait timeout"``); counting them verbatim would explode metric
+    cardinality without adding information.
+    """
+    lowered = reason.lower()
+    for needle, label in _ABORT_KEYWORDS:
+        if needle in lowered:
+            return label
+    return "other"
+
+
+class Observer:
+    """Span tracer + metrics registry + the hook surface layers call."""
+
+    def __init__(self, clock: Any = None) -> None:
+        self.tracer = SpanTracer(clock)
+        self.metrics = MetricsRegistry()
+        self._open_requests: Dict[str, Span] = {}
+        self._open_phases: Dict[Tuple[str, object], Span] = {}
+        self._finalized = False
+
+    # -- client request lifecycle (called from repro.core) -----------------
+
+    def on_request_submit(self, request_id: str, client: str) -> Span:
+        span = self.tracer.start(
+            "request", "request", client,
+            trace_id=str(request_id), parent_id=None, use_context=False,
+            request=str(request_id), client=client,
+        )
+        self._open_requests[str(request_id)] = span
+        self.metrics.inc("requests.submitted")
+        return span
+
+    def on_request_complete(
+        self, request_id: str, committed: bool, reason: str = "", retries: int = 0
+    ) -> None:
+        span = self._open_requests.pop(str(request_id), None)
+        if span is None:
+            return
+        status = "ok" if committed else "aborted"
+        self.tracer.finish(span, status=status, committed=committed,
+                           reason=reason, retries=retries)
+        self.metrics.inc("requests.committed" if committed else "requests.aborted")
+        if retries:
+            self.metrics.inc("requests.retries", amount=retries)
+        if committed:
+            self.metrics.observe("request.latency", span.duration)
+
+    @contextmanager
+    def request_context(self, request_id: str) -> Iterator[Optional[Span]]:
+        """Causal context of a request's root span (client-side dispatch)."""
+        with self.tracer.context(self._open_requests.get(str(request_id))) as span:
+            yield span
+
+    # -- network (called from repro.net, duck-typed) -----------------------
+
+    def on_message_send(self, message: Any) -> None:
+        """Open a flight span for an envelope and stamp it on the message."""
+        attrs = {"type": message.type, "src": message.src, "dst": message.dst,
+                 "msg_id": message.msg_id}
+        inner = None
+        if isinstance(message.payload, dict):
+            inner = message.payload.get("inner_type")
+        if isinstance(inner, str):
+            attrs["inner"] = inner
+        span = self.tracer.start(
+            f"msg:{message.type}", "message", message.src, **attrs
+        )
+        message.span_id = span.span_id
+        self.metrics.inc("messages.sent")
+        self.metrics.inc("messages.sent.by_type", label=message.type)
+        if isinstance(inner, str):
+            self.metrics.inc("messages.sent.by_inner_type", label=inner)
+
+    def on_message_deliver(self, message: Any) -> None:
+        span = self.tracer.get(message.span_id)
+        if span is not None:
+            self.tracer.finish(span, status="ok")
+            self.metrics.observe("message.flight_time", span.duration)
+        self.metrics.inc("messages.delivered")
+
+    def on_message_drop(self, message: Any, cause: str) -> None:
+        span = self.tracer.get(message.span_id)
+        if span is not None:
+            self.tracer.finish(span, status=f"dropped:{cause}")
+        self.metrics.inc("messages.dropped", label=cause)
+
+    @contextmanager
+    def handler_context(self, node_name: str, message: Any) -> Iterator[Optional[Span]]:
+        """Bracket a handler invocation with a span under the flight span."""
+        flight = self.tracer.get(message.span_id)
+        if flight is None:
+            yield None
+            return
+        with self.tracer.span(
+            f"handle:{message.type}", "handle", node_name,
+            trace_id=flight.trace_id, parent_id=flight.span_id,
+            type=message.type, src=message.src,
+        ) as span:
+            yield span
+
+    # -- phases (called from repro.core.phases) ------------------------------
+
+    def on_phase(
+        self, source: str, request_id: object, phase: str, mechanism: str = ""
+    ) -> Span:
+        """Open a phase span; the previous phase of (source, request) ends."""
+        key = (source, request_id)
+        previous = self._open_phases.pop(key, None)
+        if previous is not None:
+            self.tracer.finish(previous)
+            self.metrics.observe("phase.latency", previous.duration,
+                                 label=previous.name)
+        span = self.tracer.start(
+            phase, "phase", source, trace_id=str(request_id),
+            request=str(request_id), mechanism=mechanism,
+        )
+        self._open_phases[key] = span
+        self.metrics.inc("phases.entered", label=phase)
+        return span
+
+    # -- locks (called from repro.db.locks, duck-typed) ----------------------
+
+    def on_lock_wait(self, site: str, txn: object, item: str, mode: str) -> Span:
+        return self.tracer.start(
+            f"lock-wait:{item}", "lock", site, trace_id=_txn_trace(txn),
+            txn=str(txn), item=item, mode=mode,
+        )
+
+    def on_lock_granted(self, span: Optional[Span], waited: float) -> None:
+        if span is not None:
+            self.tracer.finish(span, status="ok")
+        self.metrics.observe("lock.wait_time", waited)
+
+    def on_lock_failed(self, span: Optional[Span], cause: str) -> None:
+        if span is not None:
+            self.tracer.finish(span, status=f"aborted:{cause}")
+        self.metrics.inc("lock.aborted_waits", label=cause)
+
+    def on_lock_released(self, hold_time: float) -> None:
+        self.metrics.observe("lock.hold_time", hold_time)
+
+    def on_deadlock(self) -> None:
+        self.metrics.inc("lock.deadlocks")
+
+    # -- transactions (called from repro.db.transactions, duck-typed) --------
+
+    def on_txn_commit(self, site: str) -> None:
+        self.metrics.inc("txn.committed")
+
+    def on_txn_abort(self, site: str, reason: str) -> None:
+        self.metrics.inc("txn.aborted", label=abort_reason_label(reason))
+
+    # -- trace-log bridge -----------------------------------------------------
+
+    def attach(self, trace_log: Any) -> None:
+        """Mirror structured trace events as instant spans and counters.
+
+        The group-communication, failure-detection, 2PC and
+        fault-injection layers already narrate themselves into the
+        :class:`~repro.sim.TraceLog`; subscribing converts that
+        narration into the span world without those layers knowing the
+        observer exists.  Events fire inside handler contexts, so the
+        instants land in the right causal subtree.
+        """
+        trace_log.subscribe(self._on_trace_event)
+
+    def _on_trace_event(self, event: Any) -> None:
+        category = event.category
+        if category in ("phase", "message"):
+            return  # natively instrumented as real spans
+        if category in _GC_CATEGORIES:
+            mtype = event.data.get("mtype", event.data.get("action", ""))
+            self.tracer.instant(
+                f"{category}:{mtype}" if mtype else category, "gc",
+                event.source, **_primitive_attrs(event.data),
+            )
+            self.metrics.inc("broadcast.delivered", label=category)
+        elif category == "fd":
+            action = event.data.get("action", "")
+            self.tracer.instant(
+                f"fd:{action}", "fd", event.source,
+                peer=event.data.get("peer", ""),
+            )
+            if action == "suspect":
+                self.metrics.inc("fd.suspicions")
+            elif action == "restore":
+                self.metrics.inc("fd.wrong_suspicions")
+        elif category == "2pc":
+            decision = event.data.get("decision", "")
+            self.tracer.instant(
+                f"2pc:{decision}", "2pc", event.source,
+                txn=str(event.data.get("txn", "")),
+            )
+            self.metrics.inc("2pc.decisions", label=decision)
+        elif category == "fault":
+            action = event.data.get("action", "")
+            self.tracer.instant(
+                f"fault:{action}", "fault", event.source,
+                **_primitive_attrs(event.data),
+            )
+            self.metrics.inc("faults.injected", label=action)
+
+    # -- export preparation ----------------------------------------------------
+
+    def finalize(self) -> None:
+        """Bound every open span and derive end-of-run gauges (idempotent)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for key in sorted(self._open_phases, key=repr):
+            span = self._open_phases[key]
+            self.tracer.finish(span, status="open")
+        self._open_phases.clear()
+        for request_id in sorted(self._open_requests):
+            self.tracer.finish(self._open_requests[request_id], status="unanswered")
+        self._open_requests.clear()
+        self.tracer.finalize()
+        self.metrics.set("spans.recorded", float(len(self.tracer.spans)))
+
+    def __repr__(self) -> str:
+        return f"<Observer {self.tracer!r} {self.metrics!r}>"
+
+
+def _txn_trace(txn: object) -> str:
+    """Transaction ids double as trace ids when protocols reuse request ids."""
+    return str(txn)
+
+
+def _primitive_attrs(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Keep only primitive payload values (span attrs must stay JSON-able)."""
+    return {
+        key: value
+        for key, value in data.items()
+        if isinstance(value, (str, int, float, bool)) or value is None
+    }

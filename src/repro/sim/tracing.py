@@ -8,8 +8,9 @@ render and validate those records against the paper's diagrams.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["TraceEvent", "TraceLog"]
 
@@ -42,20 +43,45 @@ class TraceEvent:
 
 
 class TraceLog:
-    """Append-only log of :class:`TraceEvent` records with query helpers."""
+    """Append-only log of :class:`TraceEvent` records with query helpers.
 
-    def __init__(self, sim: Any = None) -> None:
+    ``max_events`` turns the log into a ring buffer: once the bound is
+    reached the oldest events are discarded (``dropped_events`` counts
+    them), which keeps long soak runs at constant memory.  ``None``
+    (default) keeps every event.
+
+    Subscribers are *isolated*: the event is appended to the log before
+    any subscriber runs, and a subscriber that raises is unsubscribed and
+    its exception recorded in ``subscriber_errors`` — one broken observer
+    cannot corrupt the log or starve other subscribers.
+    """
+
+    def __init__(self, sim: Any = None, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
         self._sim = sim
-        self._events: List[TraceEvent] = []
+        self.max_events = max_events
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
         self._subscribers: List[Callable[[TraceEvent], None]] = []
+        self.dropped_events = 0
+        self.subscriber_errors: List[Exception] = []
 
     def record(self, category: str, source: str, **data: Any) -> TraceEvent:
         """Append an event stamped with the current simulated time."""
         time = self._sim.now if self._sim is not None else 0.0
         event = TraceEvent(time=time, category=category, source=source, data=data)
+        if self.max_events is not None and len(self._events) == self.max_events:
+            self.dropped_events += 1
         self._events.append(event)
-        for subscriber in self._subscribers:
-            subscriber(event)
+        for subscriber in list(self._subscribers):
+            try:
+                subscriber(event)
+            except Exception as exc:  # noqa: BLE001 - subscriber isolation
+                self.subscriber_errors.append(exc)
+                try:
+                    self._subscribers.remove(subscriber)
+                except ValueError:
+                    pass
         return event
 
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
@@ -107,5 +133,7 @@ class TraceLog:
 
     def dump(self, limit: Optional[int] = None) -> str:
         """Human-readable rendering of the trace, newest last."""
-        events = self._events if limit is None else self._events[-limit:]
+        events = list(self._events)
+        if limit is not None:
+            events = events[-limit:]
         return "\n".join(repr(event) for event in events)

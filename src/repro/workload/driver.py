@@ -103,11 +103,14 @@ def run_workload(
     settle: float = 300.0,
     system_kwargs: Optional[dict] = None,
     config: Optional[dict] = None,
+    observe: bool = False,
 ) -> tuple:
     """One-call experiment: build system, drive workload, summarize.
 
     Returns ``(system, driver, summary)`` so callers can inspect stores,
-    traces and network statistics afterwards.
+    traces and network statistics afterwards.  With ``observe=True`` the
+    system carries a :class:`~repro.obs.Observer`; export its spans and
+    metrics via :func:`repro.obs.write_artifacts`.
     """
     spec = spec if spec is not None else WorkloadSpec()
     system = ReplicatedSystem(
@@ -116,6 +119,7 @@ def run_workload(
         clients=clients,
         seed=seed,
         config=config,
+        observe=observe,
         **(system_kwargs or {}),
     )
     generator = WorkloadGenerator(spec, seed=seed)

@@ -1,0 +1,398 @@
+"""Tests for the observability layer (repro.obs).
+
+Three layers of guarantees:
+
+* **Unit** — span tracer causality, metrics registry snapshots, the
+  exporters' shapes.
+* **Neutrality** — observing a run changes nothing: same seed, same
+  results, same store contents, with and without the observer.
+* **Regression, per technique** — the same seed twice produces
+  byte-identical span exports; every committed request's trace contains
+  the technique's declared phase sequence; and every message span's type
+  is covered by the generated protocol catalog (docs/messages.json), so
+  the dynamic span world and the static message-flow world agree.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import REGISTRY, Operation, ReplicatedSystem
+from repro.lint.engine import collect_files, parse_file
+from repro.lint.msgflow import build_catalog, pattern_matches
+from repro.lint.symeval import WILDCARD
+from repro.obs import (
+    MetricsRegistry,
+    Observer,
+    SpanTracer,
+    abort_reason_label,
+    chrome_trace,
+    spans_jsonl,
+    write_artifacts,
+)
+from repro.workload import WorkloadSpec, run_workload
+
+REPO = Path(__file__).resolve().parent.parent
+
+TECHNIQUES = sorted(REGISTRY)
+
+SPEC = WorkloadSpec(items=6, read_fraction=0.3, ops_per_transaction=2)
+
+# Semi-active replication only enters its AC phase at non-deterministic
+# choice points (Figure 4: "EX and AC are repeated for each non
+# deterministic choice"), so its workload uses the non-deterministic
+# update function to exercise the declared sequence.
+SPECS = {
+    "semi_active": WorkloadSpec(
+        items=6, read_fraction=0.3, ops_per_transaction=2,
+        update_func="random_token",
+    ),
+}
+
+
+def _observed_run(technique: str):
+    system, driver, summary = run_workload(
+        technique,
+        spec=SPECS.get(technique, SPEC),
+        replicas=3,
+        clients=2,
+        requests_per_client=2,
+        seed=1301,
+        think_time=5.0,
+        settle=300.0,
+        config={"abcast": "sequencer"},
+        observe=True,
+    )
+    system.observer.finalize()
+    return system, driver
+
+
+def _export(system):
+    spans = system.observer.tracer.spans
+    order = system.replica_names + [c.name for c in system.clients]
+    return (
+        chrome_trace(spans, node_order=order),
+        spans_jsonl(spans),
+        system.observer.metrics.report(title="run"),
+    )
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Two independent same-seed observed runs per technique, cached."""
+    cache = {}
+
+    def get(technique):
+        if technique not in cache:
+            cache[technique] = (_observed_run(technique), _observed_run(technique))
+        return cache[technique]
+
+    return get
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cwd = os.getcwd()
+    os.chdir(REPO)
+    try:
+        contexts = []
+        for path in collect_files(["src/repro"]):
+            context, error = parse_file(path)
+            assert error is None, f"unparseable source: {error}"
+            contexts.append(context)
+        return build_catalog(contexts)
+    finally:
+        os.chdir(cwd)
+
+
+def _is_subsequence(needle, haystack):
+    iterator = iter(haystack)
+    return all(item in iterator for item in needle)
+
+
+# ---------------------------------------------------------------------------
+# Unit: span tracer
+# ---------------------------------------------------------------------------
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestSpanTracer:
+    def test_ids_are_sequential_and_times_from_clock(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock)
+        a = tracer.start("a", "cat", "n1")
+        clock.now = 2.0
+        b = tracer.start("b", "cat", "n1")
+        tracer.finish(a)
+        assert (a.span_id, b.span_id) == (1, 2)
+        assert a.start == 0.0 and a.end == 2.0 and a.duration == 2.0
+
+    def test_context_stack_sets_parent_and_trace(self):
+        tracer = SpanTracer(FakeClock())
+        root = tracer.start("root", "request", "c0", trace_id="req-1",
+                            use_context=False)
+        with tracer.context(root):
+            child = tracer.start("child", "message", "c0")
+        assert child.parent_id == root.span_id
+        assert child.trace_id == "req-1"
+        # Outside the context: no parent inherited.
+        orphan = tracer.start("orphan", "message", "c0")
+        assert orphan.parent_id is None and orphan.trace_id == ""
+
+    def test_explicit_parent_wins_over_context(self):
+        tracer = SpanTracer(FakeClock())
+        a = tracer.start("a", "cat", "n", trace_id="t1", use_context=False)
+        b = tracer.start("b", "cat", "n", trace_id="t2", use_context=False)
+        with tracer.context(a):
+            child = tracer.start("c", "cat", "n", parent_id=b.span_id)
+        assert child.parent_id == b.span_id
+        assert child.trace_id == "t2"
+
+    def test_finalize_bounds_open_spans(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock)
+        span = tracer.start("open", "phase", "r0")
+        clock.now = 7.0
+        done = tracer.start("done", "phase", "r0")
+        tracer.finish(done)
+        tracer.finalize()
+        assert span.end == 7.0 and span.status == "open"
+        assert done.status == "ok"
+
+    def test_instant_is_point_event(self):
+        tracer = SpanTracer(FakeClock())
+        span = tracer.instant("tick", "gc", "r0")
+        assert span.kind == "instant" and span.start == span.end
+
+
+# ---------------------------------------------------------------------------
+# Unit: metrics registry
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counters_gauges_histograms_snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("msgs")
+        registry.inc("msgs", amount=2)
+        registry.inc("msgs.by_type", label="abcast")
+        registry.set("height", 4.5)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("lat", value)
+        snap = registry.snapshot()
+        assert snap["counters"]["msgs"] == 3
+        assert snap["counters"]["msgs.by_type{abcast}"] == 1
+        assert snap["gauges"]["height"] == 4.5
+        hist = snap["histograms"]["lat"]
+        assert hist["count"] == 4 and hist["mean"] == 2.5 and hist["max"] == 4.0
+
+    def test_histogram_percentiles_nearest_rank(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("lat", float(value))
+        hist = registry.snapshot()["histograms"]["lat"]
+        assert hist["p50"] == 50.0
+        assert hist["p95"] == 95.0
+        assert hist["p99"] == 99.0
+
+    def test_report_is_deterministic_text(self):
+        registry = MetricsRegistry()
+        registry.inc("b")
+        registry.inc("a")
+        registry.observe("h", 1.0)
+        first = registry.report(title="t")
+        assert first == registry.report(title="t")
+        assert first.endswith("\n")
+        assert first.index("a") < first.index("b")
+
+    def test_abort_reason_labels_bounded(self):
+        assert abort_reason_label("transaction r0:t3: deadlock victim") == "deadlock"
+        assert abort_reason_label("lock wait timeout") == "timeout"
+        assert abort_reason_label("certification failed on x") == "certification"
+        assert abort_reason_label("weird new failure") == "other"
+
+
+# ---------------------------------------------------------------------------
+# Unit: exporters
+# ---------------------------------------------------------------------------
+
+class TestExporters:
+    def _tracer_with_spans(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock)
+        root = tracer.start("request", "request", "c0", trace_id="req-1",
+                            use_context=False)
+        msg = tracer.start("msg:ping", "message", "c0", parent_id=root.span_id,
+                           type="ping", src="c0", dst="r0", msg_id=1)
+        clock.now = 1.0
+        tracer.finish(msg)
+        handler = tracer.start("on:ping", "handler", "r0",
+                               parent_id=msg.span_id)
+        tracer.finish(handler)
+        tracer.finish(root)
+        return tracer
+
+    def test_chrome_trace_shape(self):
+        tracer = self._tracer_with_spans()
+        document = json.loads(chrome_trace(tracer.spans, node_order=["r0", "c0"]))
+        events = document["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "M"}
+        assert "process_name" in names and "thread_name" in names
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"request", "msg:ping", "on:ping"}
+        # The delivered message produced a flow arrow pair.
+        assert [e["ph"] for e in events if e["name"] == "flight"] == ["s", "f"]
+
+    def test_spans_jsonl_round_trips(self):
+        tracer = self._tracer_with_spans()
+        lines = spans_jsonl(tracer.spans).strip().split("\n")
+        parsed = [json.loads(line) for line in lines]
+        assert [p["span_id"] for p in parsed] == [1, 2, 3]
+        assert parsed[1]["parent_id"] == 1
+        assert parsed[2]["parent_id"] == 2
+
+    def test_write_artifacts_creates_three_files(self, tmp_path):
+        observer = Observer(FakeClock())
+        observer.on_request_submit("req-1", "c0")
+        observer.on_request_complete("req-1", True)
+        paths = write_artifacts(observer, str(tmp_path / "run"))
+        assert sorted(paths) == ["metrics", "spans", "trace"]
+        for path in paths.values():
+            assert os.path.exists(path) and os.path.getsize(path) > 0
+
+
+# ---------------------------------------------------------------------------
+# Neutrality: observation never perturbs a run
+# ---------------------------------------------------------------------------
+
+class TestZeroCostWhenDisabled:
+    def test_unobserved_system_builds_no_observer(self):
+        system = ReplicatedSystem("eager_primary", replicas=3, seed=3)
+        assert system.observer is None
+        assert system.net.obs is None
+        assert system.tracer.obs is None
+        for replica in system.replicas.values():
+            assert replica.tm.obs is None
+            assert replica.tm.locks.obs is None
+
+    @pytest.mark.parametrize("technique", ["active", "eager_primary", "lazy_ue"])
+    def test_observation_is_neutral(self, technique):
+        results = {}
+        for observe in (False, True):
+            system = ReplicatedSystem(
+                technique, replicas=3, seed=11, observe=observe,
+                config={"abcast": "sequencer"},
+            )
+            result = system.execute(
+                [Operation.write("x", 1), Operation.read("x")]
+            )
+            system.settle(200.0)
+            results[observe] = (
+                result.committed,
+                result.completed_at,
+                {n: system.store_of(n).digest() for n in system.replica_names},
+                len(system.trace),
+            )
+        assert results[False] == results[True]
+
+
+# ---------------------------------------------------------------------------
+# Regression: per-technique determinism, phase coverage, catalog agreement
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_same_seed_exports_are_byte_identical(technique, runs):
+    (system_a, _), (system_b, _) = runs(technique)
+    chrome_a, jsonl_a, report_a = _export(system_a)
+    chrome_b, jsonl_b, report_b = _export(system_b)
+    assert chrome_a == chrome_b, f"{technique}: chrome trace differs across runs"
+    assert jsonl_a == jsonl_b, f"{technique}: span JSONL differs across runs"
+    assert report_a == report_b, f"{technique}: metrics report differs across runs"
+    assert len(system_a.observer.tracer.spans) > 0
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_request_traces_contain_declared_phase_sequence(technique, runs):
+    (system, driver), _ = runs(technique)
+    # Read-only requests legitimately short-circuit the coordination
+    # phases (served locally), so the declared sequence is checked on
+    # committed *update* requests only.
+    committed = [
+        r for r in driver.results
+        if r.committed and any(op.is_write for op in r.operations)
+    ]
+    assert committed, f"{technique}: no committed updates under the test workload"
+    tracer = system.observer.tracer
+    for result in committed:
+        declared = system.info.descriptor_for(len(result.operations)).phase_names()
+        observed = tracer.phase_sequence(str(result.request_id))
+        assert _is_subsequence(declared, observed), (
+            f"{technique} {result.request_id}: declared {declared} "
+            f"not contained in observed {observed}"
+        )
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_message_spans_covered_by_catalog(technique, runs, catalog):
+    (system, _), _ = runs(technique)
+    patterns = [
+        record["type"].replace("*", WILDCARD) for record in catalog["types"]
+    ]
+
+    def covered(concrete):
+        return any(pattern_matches(p, concrete) for p in patterns)
+
+    message_spans = [
+        s for s in system.observer.tracer.spans if s.category == "message"
+    ]
+    assert message_spans, f"{technique}: no message spans recorded"
+    uncovered = set()
+    for span in message_spans:
+        if not covered(span.attrs["type"]):
+            uncovered.add(span.attrs["type"])
+        inner = span.attrs.get("inner")
+        if inner is not None and not covered(inner):
+            uncovered.add(inner)
+    assert not uncovered, (
+        f"{technique}: span message types missing from docs/messages.json: "
+        f"{sorted(uncovered)}"
+    )
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_every_message_span_closes(technique, runs):
+    (system, _), _ = runs(technique)
+    for span in system.observer.tracer.spans:
+        assert span.end is not None, f"{technique}: unbounded span {span!r}"
+        if span.category == "message":
+            assert span.status == "ok" or span.status.startswith(("dropped:", "open")), (
+                f"{technique}: unexpected message status {span.status!r}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_observe_writes_artifacts(tmp_path, capsys):
+    from repro.__main__ import main
+
+    code = main(["observe", "active", "--seed", "1", "--requests", "2",
+                 "--out", str(tmp_path)])
+    assert code == 0
+    stem = tmp_path / "observe_active_seed1"
+    for suffix in (".trace.json", ".spans.jsonl", ".metrics.txt"):
+        path = Path(str(stem) + suffix)
+        assert path.exists() and path.stat().st_size > 0, suffix
+    out = capsys.readouterr().out
+    assert "spans" in out and "[counters]" in out
+
+
+def test_cli_observe_rejects_unknown_technique(tmp_path):
+    from repro.__main__ import main
+
+    assert main(["observe", "nope", "--out", str(tmp_path)]) == 2

@@ -1,5 +1,7 @@
 """Tests for the simulation-time trace log."""
 
+import pytest
+
 from repro.sim import Simulator, TraceLog
 
 
@@ -60,3 +62,53 @@ class TestTraceLog:
         for i in range(3):
             trace.record("cat", "src", i=i)
         assert [e.data["i"] for e in trace] == [0, 1, 2]
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        trace = TraceLog()
+        for i in range(100):
+            trace.record("cat", "src", i=i)
+        assert len(trace) == 100
+        assert trace.dropped_events == 0
+
+    def test_bound_discards_oldest(self):
+        trace = TraceLog(max_events=5)
+        for i in range(12):
+            trace.record("cat", "src", i=i)
+        assert len(trace) == 5
+        assert [e.data["i"] for e in trace] == [7, 8, 9, 10, 11]
+        assert trace.dropped_events == 7
+
+    def test_bound_applies_to_queries(self):
+        trace = TraceLog(max_events=3)
+        for i in range(6):
+            trace.record("cat", "src", i=i)
+        assert trace.count("cat") == 3
+        assert len(trace.dump().splitlines()) == 3
+        assert len(trace.dump(limit=2).splitlines()) == 2
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(max_events=0)
+
+
+class TestSubscriberIsolation:
+    def test_raising_subscriber_does_not_corrupt_log(self):
+        trace = TraceLog()
+
+        def broken(_event):
+            raise RuntimeError("observer bug")
+
+        seen = []
+        trace.subscribe(broken)
+        trace.subscribe(seen.append)
+        event = trace.record("cat", "src")
+        # The event made it into the log and to the healthy subscriber.
+        assert trace.events == [event]
+        assert seen == [event]
+        # The broken subscriber was detached and its error recorded.
+        assert len(trace.subscriber_errors) == 1
+        trace.record("cat", "src")
+        assert len(trace.subscriber_errors) == 1  # not called again
+        assert len(seen) == 2
