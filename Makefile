@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint typecheck test baseline catalog catalog-check observe
+.PHONY: check lint typecheck test baseline catalog catalog-check observe bench-json
 
 check: lint typecheck catalog-check test
 
@@ -30,6 +30,13 @@ TECH ?= active
 SEED ?= 1
 observe:
 	$(PYTHON) -m repro observe $(TECH) --seed $(SEED)
+
+# Kernel & network hot-path microbenchmarks: writes the perf-trajectory
+# file BENCH_kernel.json at the repo root (measured figures + recorded
+# pre-optimization baseline + per-workload speedups).  Not part of
+# `check` — wall-clock results belong in an artifact, not a gate.
+bench-json:
+	$(PYTHON) benchmarks/perf_kernel.py --json BENCH_kernel.json --repeats 5
 
 # Regenerate the protocol message catalog (docs/messages.md + .json)
 # from the M4xx message-flow graph; `catalog-check` fails when the

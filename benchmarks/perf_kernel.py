@@ -1,0 +1,311 @@
+"""Kernel & network hot-path microbenchmarks — the perf trajectory seed.
+
+Measures the raw cost of the discrete-event kernel and the network
+fabric under workloads shaped like the Section 6 performance study:
+
+* ``timer_churn`` — events/sec through the bare event loop under the
+  RPC-guard pattern (arm a far-future timer, do a short wait, cancel
+  the guard).  This is exactly the load ``Node.call(timeout=...)`` puts
+  on the heap, and the one lazy-deletion compaction targets.
+* ``rpc`` — messages/sec through ``Node.call``/``Node.reply`` round
+  trips with a timeout guard on every call.
+* ``broadcast`` — messages/sec through ``Network.broadcast`` fan-out
+  with a nested payload, across partition/heal churn.
+* ``soak`` — events/sec and messages/sec of the real soak workload
+  (same spec as ``benchmarks/test_perf_soak.py``) for one DS and one DB
+  technique: kernel + protocols + workload driver, end to end.
+
+``python benchmarks/perf_kernel.py --json BENCH_kernel.json`` (or
+``make bench-json``) writes the trajectory file: the measured figures
+next to the recorded pre-optimization baseline
+(``benchmarks/kernel_baseline.json``) and the speedup per workload.
+``--record-baseline`` rewrites the baseline file instead — only done
+once, on the commit *before* a round of kernel work, so every later run
+has a fixed reference point.
+
+Wall-clock timing lives here, outside ``src/repro`` — the library
+itself must stay free of real time (repro.lint D103); the simulated
+executions these benchmarks time are fully deterministic, only their
+duration varies by machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, Optional
+
+if __name__ == "__main__":  # direct script run: make src/ importable
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.net import Network, Node
+from repro.net.latency import ConstantLatency
+from repro.sim import Simulator
+from repro.workload import WorkloadSpec, run_workload
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "kernel_baseline.json")
+
+SOAK_SPEC = WorkloadSpec(items=24, read_fraction=0.5, ops_per_transaction=1)
+SOAK_TECHNIQUES = ("active", "eager_ue_locking")
+
+
+def _noop() -> None:
+    return None
+
+
+# -- workloads ---------------------------------------------------------------
+
+
+def bench_timer_churn(procs: int = 32, iters: int = 4000,
+                      guard_delay: float = 50_000.0) -> Dict[str, float]:
+    """Event-loop throughput under timer arm/cancel churn.
+
+    Every iteration mirrors one guarded RPC: schedule a far-future
+    timeout guard, wait a short simulated delay, cancel the guard.  The
+    cancelled guards are dead heap entries until compaction (or, before
+    it existed, until their fire time)."""
+    sim = Simulator(seed=7)
+
+    def churn():
+        for _ in range(iters):
+            guard = sim.schedule(guard_delay, _noop)
+            yield sim.timeout(1.0)
+            guard.cancel()
+
+    for index in range(procs):
+        sim.spawn(churn(), name=f"churn-{index}")
+    start = time.perf_counter()
+    sim.run(until=iters / 2.0)
+    mid_pending = sim.pending_events  # dead-entry bloat shows up here
+    sim.run()
+    wall = time.perf_counter() - start
+    return {
+        "events": sim.events_processed,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(sim.events_processed / wall, 1),
+        "mid_run_pending": mid_pending,
+    }
+
+
+class _EchoServer(Node):
+    def __init__(self, sim: Simulator, network: Network, name: str) -> None:
+        super().__init__(sim, network, name)
+        self.on("req", self._on_req)
+
+    def _on_req(self, message) -> None:
+        self.reply(message, ack=message["seq"])
+
+
+def bench_rpc(clients: int = 8, servers: int = 4, calls: int = 2000,
+              call_timeout: float = 400.0) -> Dict[str, float]:
+    """Request/reply throughput with a timeout guard on every call."""
+    sim = Simulator(seed=11)
+    net = Network(sim, latency=ConstantLatency(1.0))
+    for index in range(servers):
+        _EchoServer(sim, net, f"s{index}")
+
+    def client(node: Node) -> Any:
+        for seq in range(calls):
+            yield node.call(f"s{seq % servers}", "req",
+                            timeout=call_timeout, seq=seq)
+
+    for index in range(clients):
+        node = Node(sim, net, f"c{index}")
+        node.spawn(client(node))
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    expected = clients * calls * 2  # one data + one reply per call
+    assert net.stats.delivered == expected, (net.stats.delivered, expected)
+    return {
+        "messages": net.stats.delivered,
+        "events": sim.events_processed,
+        "wall_s": round(wall, 4),
+        "messages_per_sec": round(net.stats.delivered / wall, 1),
+        "events_per_sec": round(sim.events_processed / wall, 1),
+    }
+
+
+def bench_broadcast(fanout: int = 40, rounds: int = 400) -> Dict[str, float]:
+    """Broadcast fan-out with a nested payload and partition churn."""
+    sim = Simulator(seed=13)
+    net = Network(sim, latency=ConstantLatency(1.0))
+    hub = Node(sim, net, "hub")
+    sinks = []
+    for index in range(fanout):
+        node = Node(sim, net, f"r{index}")
+        node.on("state", lambda message: None)
+        sinks.append(node.name)
+    half = ["hub"] + sinks[: fanout // 2]
+    payload = {"vector": {name: 0 for name in sinks[:8]},
+               "body": "x" * 64, "round": 0}
+
+    def driver():
+        for round_no in range(rounds):
+            if round_no % 50 == 25:
+                net.partition(half)
+            elif round_no % 50 == 0:
+                net.heal()
+            payload["round"] = round_no
+            net.broadcast("hub", sinks, "state", payload=payload)
+            yield sim.timeout(1.0)
+
+    hub.spawn(driver())
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    return {
+        "messages": net.stats.sent,
+        "delivered": net.stats.delivered,
+        "events": sim.events_processed,
+        "wall_s": round(wall, 4),
+        "messages_per_sec": round(net.stats.sent / wall, 1),
+        "events_per_sec": round(sim.events_processed / wall, 1),
+    }
+
+
+def bench_soak(technique: str) -> Dict[str, float]:
+    """The real Section 6 soak row for one technique, timed end to end."""
+    start = time.perf_counter()
+    system, driver, summary = run_workload(
+        technique, spec=SOAK_SPEC, replicas=5, clients=4,
+        requests_per_client=30, seed=101, think_time=8.0, retry_aborts=True,
+        settle=600.0, config={"abcast": "sequencer"},
+        system_kwargs={"trace_max_events": 200_000},
+    )
+    wall = time.perf_counter() - start
+    events = system.sim.events_processed
+    messages = system.net.stats.sent
+    assert summary.requests == 120, summary.requests
+    return {
+        "events": events,
+        "messages": messages,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(events / wall, 1),
+        "messages_per_sec": round(messages / wall, 1),
+    }
+
+
+WORKLOADS: Dict[str, Callable[[], Dict[str, float]]] = {
+    "timer_churn": bench_timer_churn,
+    "rpc": bench_rpc,
+    "broadcast": bench_broadcast,
+}
+for _technique in SOAK_TECHNIQUES:
+    WORKLOADS[f"soak_{_technique}"] = (
+        lambda technique=_technique: bench_soak(technique)
+    )
+
+
+# -- harness -----------------------------------------------------------------
+
+
+def run_benchmarks(repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Run every workload ``repeats`` times; keep the fastest wall time.
+
+    Event and message counts are asserted identical across repeats —
+    the simulated executions are deterministic, only wall time moves.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for name, workload in WORKLOADS.items():
+        best: Optional[Dict[str, float]] = None
+        for _ in range(repeats):
+            # Collect between samples so one workload's garbage (e.g. the
+            # churn bench's heap) is not paid for by the next sample.
+            gc.collect()
+            sample = workload()
+            if best is not None:
+                assert sample["events"] == best["events"], name
+            if best is None or sample["wall_s"] < best["wall_s"]:
+                best = sample
+        assert best is not None
+        results[name] = best
+    return results
+
+
+def load_baseline() -> Optional[Dict[str, Any]]:
+    if not os.path.exists(BASELINE_PATH):
+        return None
+    with open(BASELINE_PATH) as handle:
+        return json.load(handle)
+
+
+def trajectory(results: Dict[str, Dict[str, float]],
+               baseline: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Combine measured figures with the recorded baseline into one doc."""
+    doc: Dict[str, Any] = {
+        "schema": 1,
+        "unit": "per wall-clock second, best of N repeats",
+        "python": platform.python_version(),
+        "workloads": results,
+        "events_per_sec": results["timer_churn"]["events_per_sec"],
+        "messages_per_sec": results["rpc"]["messages_per_sec"],
+        "soak": {
+            name[len("soak_"):]: {
+                "events_per_sec": row["events_per_sec"],
+                "messages_per_sec": row["messages_per_sec"],
+            }
+            for name, row in results.items() if name.startswith("soak_")
+        },
+    }
+    if baseline is not None:
+        speedup_events = {}
+        speedup_wall = {}
+        for name, row in results.items():
+            base_row = baseline.get("workloads", {}).get(name)
+            if not base_row:
+                continue
+            if base_row.get("events_per_sec"):
+                speedup_events[name] = round(
+                    row["events_per_sec"] / base_row["events_per_sec"], 2
+                )
+            if base_row.get("wall_s") and row.get("wall_s"):
+                # Fair even when an optimization removes dead events:
+                # same simulated workload, less wall time.
+                speedup_wall[name] = round(base_row["wall_s"] / row["wall_s"], 2)
+        doc["baseline"] = baseline
+        doc["speedup_events_per_sec"] = speedup_events
+        doc["speedup_wall"] = speedup_wall
+    return doc
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the trajectory JSON to PATH")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="rewrite benchmarks/kernel_baseline.json "
+                             "with this run's figures")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(repeats=args.repeats)
+    if args.record_baseline:
+        doc = {
+            "schema": 1,
+            "recorded": "pre-optimization kernel (see CHANGES.md)",
+            "python": platform.python_version(),
+            "workloads": results,
+        }
+        with open(BASELINE_PATH, "w") as handle:
+            json.dump(doc, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline recorded -> {BASELINE_PATH}")
+
+    doc = trajectory(results, load_baseline())
+    text = json.dumps(doc, indent=1, sort_keys=True)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        print(f"trajectory -> {args.json}")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

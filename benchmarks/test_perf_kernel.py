@@ -1,0 +1,54 @@
+"""Performance study — kernel & network hot-path microbenchmarks.
+
+Pytest wrapper around :mod:`benchmarks.perf_kernel`: runs every kernel
+workload (timer churn, RPC round trips, broadcast fan-out, the two soak
+rows), prints the figures next to the recorded pre-optimization baseline
+and asserts the simulated executions still look right (event/message
+counts, timeout hygiene).  ``make bench-json`` runs the same harness
+from the command line and writes ``BENCH_kernel.json`` at the repo root.
+
+Wall-clock thresholds are deliberately absent — CI machines vary too
+much for hard time limits; the trajectory file is the artefact, and the
+recorded baseline in ``benchmarks/kernel_baseline.json`` is the fixed
+reference point for speedup claims.
+"""
+
+from conftest import format_rows, report
+from perf_kernel import WORKLOADS, load_baseline, run_benchmarks, trajectory
+
+
+def test_perf_kernel(once):
+    results = once(lambda: run_benchmarks(repeats=3))
+
+    churn = results["timer_churn"]
+    # Lazy-deletion compaction: the cancelled guard timers must not pile
+    # up in the heap (pre-compaction this figure was ~64k).
+    assert churn["mid_run_pending"] < 5_000, churn
+
+    rpc = results["rpc"]
+    assert rpc["messages"] == 8 * 2000 * 2, rpc
+
+    for name in ("soak_active", "soak_eager_ue_locking"):
+        assert results[name]["events"] > 0, name
+
+    doc = trajectory(results, load_baseline())
+    table = []
+    for name, row in results.items():
+        speedup = doc.get("speedup_wall", {}).get(name)
+        table.append([
+            name,
+            f"{row['events_per_sec']:.0f}" if "events_per_sec" in row else "-",
+            f"{row.get('messages_per_sec', 0):.0f}" if "messages_per_sec" in row else "-",
+            f"{row['wall_s']:.4f}",
+            f"{speedup:.2f}x" if speedup else "n/a",
+        ])
+    report(
+        "perf_kernel",
+        "Kernel & network hot paths: best-of-3 wall clock per workload\n"
+        "(speedup vs benchmarks/kernel_baseline.json, recorded "
+        "pre-optimization)\n\n"
+        + format_rows(
+            ["workload", "events/s", "msgs/s", "wall s", "speedup"],
+            table,
+        ),
+    )

@@ -39,6 +39,11 @@ class ReliableTransport:
         self._undelivered: Dict[str, list] = {}
         self._next_seq: Dict[str, int] = {}          # per destination
         self._unacked: Dict[Tuple[str, int], dict] = {}
+        # Pending retransmit timer per unacked frame, cancelled on ack so
+        # acked frames stop producing no-op wakeups (one per retry
+        # interval per frame — a measurable share of all kernel events in
+        # message-heavy runs).
+        self._retry_timers: Dict[Tuple[str, int], Any] = {}
         self._next_expected: Dict[str, int] = {}     # per source
         self._out_of_order: Dict[str, Dict[int, Message]] = {}
         node.on(DATA, self._on_data)
@@ -83,11 +88,15 @@ class ReliableTransport:
         self._upcall(inner_type, self.node.name, payload)
 
     def _transmit(self, dst: str, seq: int) -> None:
-        frame = self._unacked.get((dst, seq))
+        key = (dst, seq)
+        frame = self._unacked.get(key)
         if frame is None or self.node.crashed:
+            self._retry_timers.pop(key, None)
             return
         self.node.send(dst, DATA, **frame)
-        self.node.after(self.retry_interval, self._transmit, dst, seq)
+        self._retry_timers[key] = self.node.after(
+            self.retry_interval, self._transmit, dst, seq
+        )
 
     def _on_data(self, message: Message) -> None:
         src = message.src
@@ -105,7 +114,11 @@ class ReliableTransport:
             self._upcall(frame["inner_type"], src, frame["body"])
 
     def _on_ack(self, message: Message) -> None:
-        self._unacked.pop((message.src, message["seq"]), None)
+        key = (message.src, message["seq"])
+        self._unacked.pop(key, None)
+        timer = self._retry_timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
 
     def _upcall(self, inner_type: str, src: str, payload: dict) -> None:
         upcall = self._upcalls.get(inner_type)

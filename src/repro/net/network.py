@@ -20,9 +20,10 @@ directly from these.
 
 from __future__ import annotations
 
+import copy
 import itertools
 from collections import Counter
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, TYPE_CHECKING
 
 from ..errors import NetworkError, SimulationError
 from ..sim import Simulator, TraceLog
@@ -33,6 +34,75 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .node import Node
 
 __all__ = ["Network", "NetworkStats"]
+
+
+_IMMUTABLE_TYPES = (str, int, float, bool, bytes, type(None))
+
+
+def _deeply_immutable(value: Any) -> bool:
+    """True when ``value`` cannot be mutated, not even through nesting."""
+    if isinstance(value, _IMMUTABLE_TYPES):
+        return True
+    if isinstance(value, tuple):
+        return all(_deeply_immutable(item) for item in value)
+    if isinstance(value, frozenset):
+        return all(_deeply_immutable(item) for item in value)
+    return False
+
+
+def _copy_tree(value: Any) -> Any:
+    """Deep copy of the payload trees that travel the simulated wire.
+
+    Specialized for the dict/list nesting that message payloads are made
+    of — much cheaper than ``copy.deepcopy`` (no memo bookkeeping), with
+    a deepcopy fallback for exotic mutable values.
+    """
+    cls = value.__class__
+    if cls is dict or cls is _SharedPayload:
+        return {key: _copy_tree(item) for key, item in value.items()}
+    if cls is list:
+        return [_copy_tree(item) for item in value]
+    if _deeply_immutable(value):
+        return value
+    return copy.deepcopy(value)
+
+
+def _copier_for(value: Any) -> Callable[[Any], Any]:
+    """Cheapest per-delivery copier that isolates ``value``.
+
+    A dict or list whose elements are themselves deeply immutable only
+    needs a C-level shallow copy (``dict``/``list``); anything deeper
+    falls back to the recursive :func:`_copy_tree`.
+    """
+    cls = value.__class__
+    if cls is dict and all(_deeply_immutable(item) for item in value.values()):
+        return dict
+    if cls is list and all(_deeply_immutable(item) for item in value):
+        return list
+    return _copy_tree
+
+
+class _SharedPayload(dict):
+    """Broadcast payload snapshot shared by every destination envelope.
+
+    ``Network.broadcast`` snapshots the caller's payload once and
+    precomputes ``copiers`` — a ``(key, copier)`` pair for every value
+    that could be mutated through nesting.  Each *delivered* message then
+    materializes its own copy just before dispatch: a C-speed shallow
+    ``dict`` plus the precomputed copier on only the mutable values.
+    Copy-on-write beats the old per-destination ``dict()``: dropped
+    messages never pay for a copy, immutable values are shared outright,
+    and — unlike the old shallow copy — one replica mutating a nested
+    value can no longer leak into its siblings' envelopes.
+    """
+
+    __slots__ = ("copiers",)
+
+    def materialize(self) -> dict:
+        copied = dict(self)
+        for key, copier in self.copiers:
+            copied[key] = copier(copied[key])
+        return copied
 
 
 class NetworkStats:
@@ -105,6 +175,10 @@ class Network:
         self.stats = NetworkStats()
         self._nodes: Dict[str, "Node"] = {}
         self._partition: Optional[List[FrozenSet[str]]] = None
+        # node name -> partition-group index, rebuilt on partition()/heal():
+        # turns the per-message _same_side check into two dict lookups
+        # instead of a scan over every group.
+        self._group_of: Optional[Dict[str, int]] = None
         self._last_arrival: Dict[tuple, float] = {}
         self._message_ids = itertools.count(1)
 
@@ -139,18 +213,26 @@ class Network:
         seen = set().union(*named) if named else set()
         rest = frozenset(name for name in self._nodes if name not in seen)
         self._partition = named + ([rest] if rest else [])
+        group_of: Dict[str, int] = {}
+        for index, group in enumerate(self._partition):
+            for name in sorted(group):
+                if name not in group_of:  # first group wins, like the old scan
+                    group_of[name] = index
+        self._group_of = group_of
 
     def heal(self) -> None:
         """Remove any active partition."""
         self._partition = None
+        self._group_of = None
 
     def _same_side(self, a: str, b: str) -> bool:
-        if self._partition is None:
+        group_of = self._group_of
+        if group_of is None:
             return True
-        for group in self._partition:
-            if a in group:
-                return b in group
-        return False  # sender not in any group: isolated
+        group = group_of.get(a)
+        # A node absent from the map (registered after partition()) is
+        # isolated, matching the old whole-group scan.
+        return group is not None and group == group_of.get(b)
 
     # -- sending ---------------------------------------------------------------
 
@@ -188,8 +270,19 @@ class Network:
         type: str,
         payload: Optional[dict] = None,
     ) -> List[Message]:
-        """Point-to-point send to each destination (no extra semantics)."""
-        return [self.send(src, dst, type, payload=dict(payload or {})) for dst in dsts]
+        """Point-to-point send to each destination (no extra semantics).
+
+        The payload is snapshotted once and shared copy-on-write across
+        the destination envelopes; each delivered message materializes
+        its own (deep, if needed) copy in :meth:`_deliver`.
+        """
+        shared = _SharedPayload(payload or {})
+        shared.copiers = tuple(
+            (key, _copier_for(value))
+            for key, value in shared.items()
+            if not _deeply_immutable(value)
+        )
+        return [self.send(src, dst, type, payload=shared) for dst in dsts]
 
     def _route(self, message: Message) -> None:
         sender = self._nodes.get(message.src)
@@ -198,6 +291,9 @@ class Network:
             self._drop(message, "crash")
             return
         if message.dst not in self._nodes:
+            # Close the flight span the observer just opened; the raise
+            # below would otherwise leave it dangling forever.
+            self._drop(message, "no-route")
             raise NetworkError(f"unknown destination {message.dst!r}")
         if not self._same_side(message.src, message.dst):
             self.stats.dropped_partition += 1
@@ -226,6 +322,11 @@ class Network:
             self.stats.dropped_partition += 1
             self._drop(message, "partition")
             return
+        payload = message.payload
+        if payload.__class__ is _SharedPayload:
+            # Copy-on-write materialization: this destination gets its own
+            # payload the moment the message is actually delivered.
+            message.payload = payload.materialize()
         self.stats.delivered += 1
         if self.obs is not None:
             self.obs.on_message_deliver(message)

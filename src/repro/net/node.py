@@ -42,6 +42,12 @@ class Node:
         self._pending_calls: Dict[int, Future] = {}
         self._processes: List[Process] = []
         self._timers: List[Timer] = []
+        # Dead-entry sweeps are amortized: each list is filtered only once
+        # it reaches its watermark, and the watermark is then set to twice
+        # the surviving length — O(1) amortized per spawn/after instead of
+        # the old O(n) filter on every append past a fixed threshold.
+        self._processes_watermark = 64
+        self._timers_watermark = 64
         self._recover_hooks: List[Callable[[], None]] = []
         self._uids = itertools.count(1)
         network.register(self)
@@ -101,18 +107,25 @@ class Node:
             return future
         message = self.network.send(self.name, dst, msg_type, payload=payload)
         self._pending_calls[message.msg_id] = future
-
-        def cleanup(_f: Future) -> None:
-            self._pending_calls.pop(message.msg_id, None)
-
-        future.add_callback(cleanup)
         if timeout is not None:
             def expire() -> None:
                 if not future.done:
                     future.set_exception(
                         TimeoutError(f"{msg_type} to {dst} timed out after {timeout}")
                     )
-            self.after(timeout, expire)
+            timer: Optional[Timer] = self.after(timeout, expire)
+        else:
+            timer = None
+
+        def cleanup(_f: Future) -> None:
+            self._pending_calls.pop(message.msg_id, None)
+            # Cancel the timeout guard as soon as the call resolves —
+            # RPC-heavy runs would otherwise queue one dead timer per
+            # reply until its distant fire time.
+            if timer is not None:
+                timer.cancel()
+
+        future.add_callback(cleanup)
         return future
 
     def reply(self, request: Message, **payload: Any) -> None:
@@ -156,17 +169,21 @@ class Node:
     def spawn(self, generator: Generator, name: str = "") -> Process:
         """Start a process owned by this node (interrupted on crash)."""
         process = self.sim.spawn(generator, name=name or f"{self.name}-proc")
-        self._processes.append(process)
-        if len(self._processes) > 64:
-            self._processes = [p for p in self._processes if p.alive]
+        processes = self._processes
+        processes.append(process)
+        if len(processes) >= self._processes_watermark:
+            self._processes = [p for p in processes if p.alive]
+            self._processes_watermark = max(64, 2 * len(self._processes))
         return process
 
     def after(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
         """Schedule a callback owned by this node (cancelled on crash)."""
         timer = self.sim.schedule(delay, self._guarded, callback, args)
-        self._timers.append(timer)
-        if len(self._timers) > 64:
-            self._timers = [t for t in self._timers if not t.cancelled]
+        timers = self._timers
+        timers.append(timer)
+        if len(timers) >= self._timers_watermark:
+            self._timers = [t for t in timers if not t.cancelled]
+            self._timers_watermark = max(64, 2 * len(self._timers))
         return timer
 
     def every(self, interval: float, callback: Callable[[], None]) -> None:
@@ -196,9 +213,11 @@ class Node:
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()
+        self._timers_watermark = 64
         for process in self._processes:
             process.interrupt(NodeCrashed(f"{self.name} crashed"))
         self._processes.clear()
+        self._processes_watermark = 64
         pending, self._pending_calls = self._pending_calls, {}
         for future in pending.values():
             if not future.done:

@@ -17,6 +17,20 @@ as message-driven state machines, and a single-threaded simulator keeps
 them deterministic and debuggable while still modelling true concurrency in
 simulated time.
 
+The event loop is a hot path — the performance study pushes millions of
+events through it — so the kernel trades a little bookkeeping for
+throughput (see docs/internals.md, "Kernel performance"):
+
+* Cancelled timers stay in the heap (lazy deletion) but are counted; when
+  more than half the queue is dead it is compacted in one pass.  Ordering
+  is untouched: entries sort by the unique ``(time, sequence)`` pair, so a
+  rebuilt heap pops in exactly the same order.
+* ``yield sim.timeout(...)`` uses a slot-based heap entry that resolves
+  the future directly instead of allocating a :class:`Timer`, a bound
+  method and an args tuple per wait.
+* The ``any_of``/``all_of`` combinators use slotted callback objects
+  instead of per-waitable closures.
+
 Example
 -------
 >>> sim = Simulator(seed=1)
@@ -51,20 +65,35 @@ class Timer:
 
     Returned by :meth:`Simulator.schedule`.  Cancelling an already-fired or
     already-cancelled timer is a harmless no-op, which keeps timeout
-    bookkeeping in protocols simple.
+    bookkeeping in protocols simple.  Cancellation is lazy: the heap entry
+    stays queued but is counted by the simulator, which compacts the queue
+    once dead entries outnumber live ones.
     """
 
-    __slots__ = ("time", "_callback", "_args", "_cancelled")
+    __slots__ = ("time", "_callback", "_args", "_cancelled", "_sim")
 
-    def __init__(self, time: float, callback: Callable[..., None], args: tuple) -> None:
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ) -> None:
         self.time = time
         self._callback = callback
         self._args = args
         self._cancelled = False
+        # Back-reference for dead-entry accounting; cleared on fire/cancel
+        # so a queued timer is exactly one with a live back-reference.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            sim, self._sim = self._sim, None
+            if sim is not None:
+                sim._note_dead()
 
     @property
     def cancelled(self) -> bool:
@@ -73,6 +102,7 @@ class Timer:
     def _fire(self) -> None:
         if not self._cancelled:
             self._cancelled = True  # a timer fires at most once
+            self._sim = None
             self._callback(*self._args)
 
 
@@ -147,9 +177,11 @@ class Future:
         self._done = True
         self._result = value
         self._exception = exc
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for callback in callbacks:
+                callback(self)
 
     # -- observation -----------------------------------------------------
 
@@ -177,13 +209,40 @@ class Timeout:
     __slots__ = ("delay", "value")
 
     def __init__(self, delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay}")
+        # `not (delay >= 0)` also catches NaN, which passes a `delay < 0`
+        # check and then corrupts the heap ordering invariant.
+        if not (delay >= 0):
+            raise SimulationError(
+                f"invalid timeout delay {delay!r}: must be >= 0 and not NaN"
+            )
         self.delay = delay
         self.value = value
 
     def __repr__(self) -> str:
         return f"Timeout({self.delay!r})"
+
+
+class _TimeoutSlot:
+    """Heap entry that resolves a future directly when it fires.
+
+    The fast path for one-shot timeout futures (``yield sim.timeout(...)``
+    and the combinators' timeout branches): one slotted object instead of
+    a :class:`Timer` plus a bound method plus an args tuple.  Quacks like
+    an uncancellable timer to the event loop.
+    """
+
+    __slots__ = ("future", "value")
+
+    cancelled = False  # timeout futures are never cancelled, only resolved
+
+    def __init__(self, future: Future, value: Any) -> None:
+        self.future = future
+        self.value = value
+
+    def _fire(self) -> None:
+        future = self.future
+        if not future._done:
+            future._resolve(self.value, None)
 
 
 class Process(Future):
@@ -296,6 +355,63 @@ class Process(Future):
         return f"<Process {self.name!r} {state}>"
 
 
+class _AnyOfWaiter:
+    """Per-branch ``any_of`` callback.
+
+    A slotted object instead of a closure capturing ``(combined, index)``:
+    cheaper to allocate and free of cell indirection on the resolve path.
+    """
+
+    __slots__ = ("combined", "index")
+
+    def __init__(self, combined: Future, index: int) -> None:
+        self.combined = combined
+        self.index = index
+
+    def __call__(self, future: Future) -> None:
+        combined = self.combined
+        if combined._done:
+            return
+        if future._exception is not None:
+            combined.set_exception(future._exception)
+        else:
+            combined.set_result((self.index, future._result))
+
+
+class _AllOfState:
+    """Shared join state for ``all_of``: result slots + outstanding count."""
+
+    __slots__ = ("combined", "results", "remaining")
+
+    def __init__(self, combined: Future, count: int) -> None:
+        self.combined = combined
+        self.results: List[Any] = [None] * count
+        self.remaining = count
+
+
+class _AllOfWaiter:
+    """Per-branch ``all_of`` callback over the shared join state."""
+
+    __slots__ = ("state", "index")
+
+    def __init__(self, state: _AllOfState, index: int) -> None:
+        self.state = state
+        self.index = index
+
+    def __call__(self, future: Future) -> None:
+        state = self.state
+        combined = state.combined
+        if combined._done:
+            return
+        if future._exception is not None:
+            combined.set_exception(future._exception)
+            return
+        state.results[self.index] = future._result
+        state.remaining -= 1
+        if state.remaining == 0:
+            combined.set_result(state.results)
+
+
 class Simulator:
     """Single-threaded deterministic discrete-event simulator.
 
@@ -308,12 +424,18 @@ class Simulator:
         so identical seeds yield identical executions.
     """
 
+    # Compaction kicks in only past this queue size: tiny queues are
+    # cheaper to drain through the normal pop-and-skip path.
+    _COMPACT_MIN_DEAD = 32
+
     def __init__(self, seed: Optional[int] = 0) -> None:
         self._now = 0.0
         self._queue: List[tuple] = []
         self._sequence = 0
         self._anonymous = 0
         self._stopped = False
+        self._dead = 0  # cancelled timers still sitting in the heap
+        self.events_processed = 0
         self.rng = random.Random(seed)
         self.seed = seed
 
@@ -333,17 +455,20 @@ class Simulator:
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
         """Run ``callback(*args)`` after ``delay`` units of simulated time."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if not (delay >= 0):
+            raise SimulationError(
+                f"cannot schedule in the past or at NaN (delay={delay!r})"
+            )
         return self.schedule_at(self._now + delay, callback, *args)
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Timer:
         """Run ``callback(*args)`` at absolute simulated time ``time``."""
-        if time < self._now:
+        if not (time >= self._now):
             raise SimulationError(
-                f"cannot schedule at {time} before current time {self._now}"
+                f"cannot schedule at {time!r}: before current time "
+                f"{self._now} or NaN"
             )
-        timer = Timer(time, callback, args)
+        timer = Timer(time, callback, args, self)
         self._sequence += 1
         heapq.heappush(self._queue, (time, self._sequence, timer))
         return timer
@@ -354,6 +479,27 @@ class Simulator:
 
     # Kept as an internal alias; kernel code predates the public name.
     _schedule_now = call_soon
+
+    # -- heap hygiene --------------------------------------------------------
+
+    def _note_dead(self) -> None:
+        """Account one newly cancelled queued timer; compact if mostly dead."""
+        self._dead += 1
+        if self._dead > self._COMPACT_MIN_DEAD and self._dead * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap in one pass.
+
+        Rebuilding never changes pop order: entries compare by the unique
+        ``(time, sequence)`` prefix, a total order independent of the
+        heap's internal layout.  In-place so cached references in the run
+        loop stay valid.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[2].cancelled]
+        heapq.heapify(queue)
+        self._dead = 0
 
     # -- processes and waitables ---------------------------------------------
 
@@ -377,8 +523,17 @@ class Simulator:
         return Timeout(delay, value)
 
     def _timeout_future(self, delay: float, value: Any = None) -> Future:
-        future = Future(self, label=f"timeout({delay})")
-        self.schedule(delay, future.set_result, value)
+        """One-shot timeout future on the slot fast path (no Timer)."""
+        if not (delay >= 0):
+            raise SimulationError(
+                f"invalid timeout delay {delay!r}: must be >= 0 and not NaN"
+            )
+        future = Future(self, label="timeout")
+        self._sequence += 1
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, self._sequence, _TimeoutSlot(future, value)),
+        )
         return future
 
     def any_of(self, waitables: Iterable[Any], label: str = "any_of") -> Future:
@@ -386,49 +541,33 @@ class Simulator:
 
         Failures propagate: if the first waitable to finish failed, the
         combined future fails with the same exception.  Late completions of
-        the other waitables are ignored.
+        the other waitables are ignored.  An empty waitable list is
+        rejected with :class:`SimulationError` — a race between zero
+        waitables would never resolve, hanging its waiter forever.
         """
+        futures = self._as_futures(waitables)
+        if not futures:
+            raise SimulationError(f"{label}: any_of() of no waitables never resolves")
         combined = Future(self, label=label)
-        for index, waitable in enumerate(self._as_futures(waitables)):
-
-            def on_done(future: Future, index: int = index) -> None:
-                if combined.done:
-                    return
-                if future._exception is not None:
-                    combined.set_exception(future._exception)
-                else:
-                    combined.set_result((index, future._result))
-
-            waitable.add_callback(on_done)
+        for index, future in enumerate(futures):
+            future.add_callback(_AnyOfWaiter(combined, index))
         return combined
 
     def all_of(self, waitables: Iterable[Any], label: str = "all_of") -> Future:
         """Future resolving with the list of all results, in input order.
 
         Fails fast: the first failure resolves the combined future with
-        that exception.
+        that exception.  An empty list resolves with ``[]`` on the next
+        event-loop turn.
         """
         futures = self._as_futures(waitables)
         combined = Future(self, label=label)
         if not futures:
             self._schedule_now(combined.set_result, [])
             return combined
-        remaining = [len(futures)]
-        results: List[Any] = [None] * len(futures)
-
-        def on_done(future: Future, index: int) -> None:
-            if combined.done:
-                return
-            if future._exception is not None:
-                combined.set_exception(future._exception)
-                return
-            results[index] = future._result
-            remaining[0] -= 1
-            if remaining[0] == 0:
-                combined.set_result(results)
-
+        state = _AllOfState(combined, len(futures))
         for index, future in enumerate(futures):
-            future.add_callback(lambda f, i=index: on_done(f, i))
+            future.add_callback(_AllOfWaiter(state, index))
         return combined
 
     def _as_futures(self, waitables: Iterable[Any]) -> List[Future]:
@@ -446,11 +585,14 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if none remain."""
-        while self._queue:
-            time, _seq, timer = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, timer = heapq.heappop(queue)
             if timer.cancelled:
+                self._dead -= 1
                 continue
             self._now = time
+            self.events_processed += 1
             timer._fire()
             return True
         return False
@@ -458,17 +600,31 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
         """Run until the event queue drains or ``until`` is reached.
 
-        ``max_events`` guards against runaway protocols in tests: exceeding
-        it raises :class:`SimulationError` instead of hanging.
+        Each call starts fresh: a :meth:`stop` from a previous run never
+        leaks into this one.  ``max_events`` guards against runaway
+        protocols in tests: exceeding it raises :class:`SimulationError`
+        instead of hanging.
         """
+        self._stopped = False
+        # The body of `step()` is inlined here: this loop dispatches every
+        # event of every simulation, and the per-event method call plus
+        # re-fetching attributes measurably slows long runs.  `_compact`
+        # mutates the queue list in place, so the local binding stays valid.
+        queue = self._queue
+        pop = heapq.heappop
         events = 0
-        while self._queue and not self._stopped:
-            next_time = self._queue[0][0]
-            if until is not None and next_time > until:
+        while queue and not self._stopped:
+            time = queue[0][0]
+            if until is not None and time > until:
                 self._now = until
                 return
-            if not self.step():
-                break
+            timer = pop(queue)[2]
+            if timer.cancelled:
+                self._dead -= 1
+                continue
+            self._now = time
+            self.events_processed += 1
+            timer._fire()
             events += 1
             if events > max_events:
                 raise SimulationError(f"exceeded {max_events} events; likely livelock")
@@ -489,13 +645,18 @@ class Simulator:
         return future.result
 
     def stop(self) -> None:
-        """Make :meth:`run` return after the current event."""
+        """Make the current :meth:`run` return after the current event."""
         self._stopped = True
 
     @property
     def pending_events(self) -> int:
         """Number of queued (possibly cancelled) events; for diagnostics."""
         return len(self._queue)
+
+    @property
+    def dead_events(self) -> int:
+        """Queued-but-cancelled events awaiting compaction; for diagnostics."""
+        return self._dead
 
     def __repr__(self) -> str:
         return f"<Simulator now={self._now:.3f} pending={len(self._queue)}>"

@@ -310,3 +310,144 @@ class TestPerLinkLatency:
         a.send("b", "note")
         sim.run()
         assert trace.count("message") == 1
+
+
+class TestBroadcastIsolation:
+    def test_receiver_mutation_does_not_leak_to_siblings(self, sim):
+        # Regression: broadcast used to shallow-copy the payload, so one
+        # receiver mutating a nested value corrupted every other envelope
+        # (and the caller's dict).
+        net = make_net(sim)
+        Node(sim, net, "src")
+        seen = {}
+        def grab(msg):
+            msg.payload["vector"][msg.dst] = "tainted"
+            seen[msg.dst] = msg.payload["vector"]
+        for name in ("a", "b", "c"):
+            node = Node(sim, net, name)
+            node.on("state", grab)
+        original = {"vector": {"seed": 0}, "round": 1}
+        net.broadcast("src", ["a", "b", "c"], "state", payload=original)
+        sim.run()
+        for name in ("a", "b", "c"):
+            assert seen[name] == {"seed": 0, name: "tainted"}
+        assert original == {"vector": {"seed": 0}, "round": 1}
+
+    def test_nested_list_payload_isolated(self, sim):
+        net = make_net(sim)
+        Node(sim, net, "src")
+        seen = {}
+        def grab(msg):
+            msg.payload["log"].append(msg.dst)
+            seen[msg.dst] = msg.payload["log"]
+        for name in ("a", "b"):
+            node = Node(sim, net, name)
+            node.on("state", grab)
+        net.broadcast("src", ["a", "b"], "state", payload={"log": ["x"]})
+        sim.run()
+        assert seen["a"] == ["x", "a"]
+        assert seen["b"] == ["x", "b"]
+
+
+class TestPartitionMap:
+    def test_repartition_without_heal(self, sim):
+        # The node->group map must be rebuilt by every partition() call,
+        # not only after an intervening heal().
+        net = make_net(sim)
+        a, b, c = Echo(sim, net, "a"), Echo(sim, net, "b"), Echo(sim, net, "c")
+        net.partition(["a", "b"], ["c"])
+        a.send("b", "note")
+        sim.run()
+        assert len(b.received) == 1
+        net.partition(["a", "c"], ["b"])
+        a.send("b", "note")
+        a.send("c", "note")
+        sim.run()
+        assert len(b.received) == 1  # now cut off
+        assert len(c.received) == 1  # now reachable
+
+    def test_node_registered_after_partition_is_isolated(self, sim):
+        net = make_net(sim)
+        a = Echo(sim, net, "a")
+        net.partition(["a"])
+        late = Echo(sim, net, "late")
+        a.send("late", "note")
+        late.send("a", "note")
+        sim.run()
+        assert len(late.received) == 0
+        assert len(a.received) == 0
+        assert net.stats.dropped_partition == 2
+
+    def test_overlapping_groups_first_wins(self, sim):
+        net = make_net(sim)
+        a, b, c = Echo(sim, net, "a"), Echo(sim, net, "b"), Echo(sim, net, "c")
+        net.partition(["a", "b"], ["b", "c"])  # b belongs to its first group
+        b.send("a", "note")
+        b.send("c", "note")
+        sim.run()
+        assert len(a.received) == 1
+        assert len(c.received) == 0
+
+
+class TestCallTimerHygiene:
+    def test_replied_calls_do_not_accumulate_guard_timers(self, sim):
+        # Regression: every replied Node.call(timeout=...) used to leave
+        # its expiry timer queued until the distant timeout, so RPC-heavy
+        # runs dragged an ever-growing heap behind them.
+        net = make_net(sim)
+        Echo(sim, net, "server")
+        client = Node(sim, net, "client")
+        def caller():
+            for _ in range(300):
+                yield client.call("server", "ping", timeout=1_000_000.0)
+        client.spawn(caller())
+        sim.run()
+        assert sim.now < 1_000_000.0
+        assert sim.pending_events < 100
+
+    def test_timeout_guard_still_fires_without_reply(self, sim):
+        net = make_net(sim)
+        deaf = Node(sim, net, "deaf")
+        deaf.on("ping", lambda msg: None)  # receives, never replies
+        client = Node(sim, net, "client")
+        def caller():
+            try:
+                yield client.call("deaf", "ping", timeout=10.0)
+            except TimeoutError:
+                return sim.now
+        handle = client.spawn(caller())
+        sim.run()
+        assert handle.result == 10.0
+
+
+class _ObsProbe:
+    """Duck-typed observer stub recording span opens and closes."""
+
+    def __init__(self):
+        self.sent = []
+        self.delivered = []
+        self.dropped = []
+
+    def on_message_send(self, message):
+        self.sent.append(message.msg_id)
+
+    def on_message_deliver(self, message):
+        self.delivered.append(message.msg_id)
+
+    def on_message_drop(self, message, cause):
+        self.dropped.append((message.msg_id, cause))
+
+
+class TestObsFlightSpans:
+    def test_unknown_destination_closes_flight_span(self, sim):
+        # Regression: _route raised NetworkError for an unknown destination
+        # without telling the observer, leaving the just-opened flight
+        # span dangling forever.
+        probe = _ObsProbe()
+        net = Network(sim, latency=ConstantLatency(1.0), obs=probe)
+        a = Echo(sim, net, "a")
+        with pytest.raises(NetworkError):
+            a.send("ghost", "note")
+        assert probe.sent == [1]
+        assert probe.dropped == [(1, "no-route")]
+        assert probe.delivered == []

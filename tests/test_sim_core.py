@@ -319,3 +319,125 @@ class TestControl:
         assert "alive" in repr(handle)
         sim.run()
         assert "done" in repr(handle)
+
+
+class TestTimeoutValidation:
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_nan_timeout_rejected(self):
+        # NaN slips through naive `delay < 0` checks (every comparison is
+        # False) and would poison the heap's tuple ordering.
+        with pytest.raises(SimulationError):
+            Timeout(float("nan"))
+
+    def test_nan_timeout_rejected_via_sim(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(float("nan"))
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_compacts_heap(self, sim):
+        timers = [sim.schedule(1_000.0 + i, lambda: None) for i in range(1000)]
+        assert sim.pending_events == 1000
+        for timer in timers:
+            timer.cancel()
+        # Lazy deletion plus compaction: the dead entries must not sit in
+        # the queue until their distant fire times.
+        assert sim.pending_events < 100
+        assert sim.dead_events <= sim.pending_events
+
+    def test_compaction_preserves_firing_order(self, sim):
+        seen = []
+        keep = []
+        doomed = []
+        for i in range(200):
+            keep.append(sim.schedule(10.0 + i, seen.append, i))
+            doomed.append(sim.schedule(5_000.0, lambda: None))
+        for timer in doomed:
+            timer.cancel()  # triggers compaction mid-stream
+        sim.run()
+        assert seen == list(range(200))
+
+    def test_cancelled_events_do_not_count_as_processed(self, sim):
+        sim.schedule(1.0, lambda: None)
+        dead = sim.schedule(2.0, lambda: None)
+        dead.cancel()
+        sim.run()
+        assert sim.events_processed == 1
+
+
+class TestTimeoutFastPath:
+    def test_timeout_value_and_clock(self, sim):
+        def proc():
+            got = yield sim.timeout(5.0, "payload")
+            return (sim.now, got)
+        handle = sim.spawn(proc())
+        sim.run()
+        assert handle.result == (5.0, "payload")
+
+    def test_timeout_ties_resume_in_spawn_order(self, sim):
+        # The slot-based fast path must consume sequence numbers exactly
+        # like a full Timer: processes timing out at the same instant
+        # resume in the order they yielded.
+        order = []
+        def proc(tag):
+            yield sim.timeout(5.0)
+            order.append(tag)
+        for tag in ("a", "b", "c"):
+            sim.spawn(proc(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_timeout_interrupt_discards_slot(self, sim):
+        def proc():
+            yield sim.timeout(50.0)
+        handle = sim.spawn(proc())
+        sim.schedule(1.0, handle.interrupt, ProcessInterrupted("stop"))
+        sim.run()
+        assert handle.failed
+        # The abandoned timeout slot must not resurrect the process.
+        assert sim.now == 50.0 or sim.now == 1.0
+
+
+class TestEmptyCombinators:
+    def test_any_of_empty_raises(self, sim):
+        # any_of([]) can never resolve; it used to hang the waiter forever.
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+    def test_any_of_empty_raises_inside_process(self, sim):
+        def proc():
+            yield sim.any_of([])
+        handle = sim.spawn(proc())
+        sim.run()
+        assert isinstance(handle.exception, SimulationError)
+
+    def test_all_of_empty_still_resolves(self, sim):
+        def proc():
+            values = yield sim.all_of([])
+            return values
+        handle = sim.spawn(proc())
+        sim.run()
+        assert handle.result == []
+
+
+class TestStopReset:
+    def test_stop_is_not_sticky_across_runs(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append("first"), sim.stop()))
+        sim.schedule(2.0, fired.append, "second")
+        sim.run()
+        assert fired == ["first"]
+        # A fresh run() must clear the previous stop request and drain the
+        # remaining events; it used to return immediately forever.
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_stop_before_run_does_not_wedge(self, sim):
+        sim.stop()
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.run()
+        assert seen == [1]
