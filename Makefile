@@ -7,9 +7,10 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint typecheck test baseline catalog catalog-check observe bench-json
+.PHONY: check lint typecheck test baseline catalog catalog-check \
+	waitgraph waitgraph-check observe bench-json
 
-check: lint typecheck catalog-check test
+check: lint typecheck catalog-check waitgraph-check test
 
 lint:
 	$(PYTHON) -m repro.lint src/repro
@@ -46,6 +47,15 @@ catalog:
 
 catalog-check:
 	$(PYTHON) -m repro.lint src/repro --check-catalog docs/messages.md
+
+# Regenerate the wait graph (docs/waitgraph.md + .json + per-technique
+# DOT files in docs/waitgraph/) from the W5xx wait-graph analysis;
+# `waitgraph-check` fails when the checked-in copies are stale.
+waitgraph:
+	$(PYTHON) -m repro.lint src/repro --write-waitgraph docs/waitgraph.md
+
+waitgraph-check:
+	$(PYTHON) -m repro.lint src/repro --check-waitgraph docs/waitgraph.md
 
 # Grandfather the current findings (use sparingly; the tree ships clean).
 baseline:

@@ -22,6 +22,12 @@ from .phases import AC, END, EX, RE, SC, PhaseDescriptor, PhaseStep, PhaseTracer
 
 __all__ = ["AbstractReplicationProtocol", "GENERIC_DESCRIPTOR"]
 
+# Bound on each SC/AC coordination round-trip.  The walk runs over a
+# ConstantLatency(1.0) network, so a healthy round completes in ~2 time
+# units; a peer that takes 30 has crashed under the crash-stop model and
+# waiting longer cannot help (Section 2.2 assumes fail-stop servers).
+COORDINATION_TIMEOUT = 30.0
+
 GENERIC_DESCRIPTOR = PhaseDescriptor(
     technique="functional_model",
     steps=(
@@ -107,7 +113,8 @@ class AbstractReplicationProtocol:
             self.tracer.record(contact, request_id, SC)
             yield self.sim.all_of(
                 [node.call(peer, "coordinate", phase=SC, request_id=request_id,
-                           item=item, value=value) for peer in others]
+                           item=item, value=value,
+                           timeout=COORDINATION_TIMEOUT) for peer in others]
             )
         # Phase 3: execution at every replica (coordination shipped state).
         self.tracer.record(contact, request_id, EX)
@@ -123,7 +130,8 @@ class AbstractReplicationProtocol:
             self.tracer.record(contact, request_id, AC)
             yield self.sim.all_of(
                 [node.call(peer, "coordinate", phase=AC, request_id=request_id,
-                           item=item, value=value) for peer in others]
+                           item=item, value=value,
+                           timeout=COORDINATION_TIMEOUT) for peer in others]
             )
         # Phase 5: response.
         self.tracer.record(contact, request_id, END)

@@ -1,6 +1,6 @@
 """repro.lint — AST-based static analysis for the repro codebase.
 
-Four rule families guard the invariants every regenerated figure rests
+Five rule families guard the invariants every regenerated figure rests
 on (see ``docs/linting.md`` for the full catalogue):
 
 * **Determinism (D1xx)** — the simulation must be bit-for-bit
@@ -20,6 +20,15 @@ on (see ``docs/linting.md`` for the full catalogue):
   key a send site that provides it, and every ``reply`` a ``call`` to
   answer.  The same graph generates the protocol message catalog
   (``docs/messages.md`` + JSON).
+* **Wait graph (W5xx)** — a whole-program wait graph
+  (:mod:`repro.lint.waitgraph`, sharing the message-flow graph and
+  symbolic evaluator) extracts every blocking point — request/reply
+  calls, lock acquisitions, 2PC voting rounds, future joins — and
+  proves every blocking site carries a timeout, no cross-node wait
+  cycle (static distributed deadlock) exists, lock acquisition order is
+  globally consistent, and no untimed call blocks while holding locks.
+  The same graph generates the wait-graph artifact
+  (``docs/waitgraph.md`` + JSON + per-technique Graphviz DOT).
 
 Programmatic use::
 
@@ -30,6 +39,7 @@ Command line::
 
     python -m repro.lint [paths] [--format text|json|sarif] [--select/--ignore RULE]
     python -m repro.lint [paths] --write-catalog docs/messages.md
+    python -m repro.lint [paths] --write-waitgraph docs/waitgraph.md
 
 The package is self-contained (stdlib ``ast`` only) and sits outside the
 runtime layer DAG: nothing in ``repro``'s runtime imports it, and it

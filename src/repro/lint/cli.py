@@ -67,6 +67,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="verify the generated catalog at FILE (and its JSON sibling) "
              "is up to date with the code; exit 1 when stale",
     )
+    parser.add_argument(
+        "--write-waitgraph", metavar="FILE",
+        help="generate the wait graph (markdown at FILE, JSON next to it, "
+             "per-technique DOT files in a 'waitgraph' sibling directory) "
+             "and exit",
+    )
+    parser.add_argument(
+        "--check-waitgraph", metavar="FILE",
+        help="verify the generated wait graph at FILE (JSON sibling and "
+             "DOT directory included) is up to date; exit 1 when stale",
+    )
     return parser
 
 
@@ -128,6 +139,71 @@ def _catalog_mode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _waitgraph_mode(args: argparse.Namespace) -> int:
+    """Generate or verify the wait graph (markdown + JSON + DOT files)."""
+    from .waitgraph import (
+        build_waitgraph_artifact,
+        render_waitgraph_dot,
+        render_waitgraph_json,
+        render_waitgraph_markdown,
+    )
+
+    contexts = []
+    for path in collect_files(args.paths):
+        context, error = parse_file(path)
+        if error is not None:
+            print(error.render(), file=sys.stderr)
+            return 2
+        contexts.append(context)
+    artifact = build_waitgraph_artifact(contexts)
+    target = args.write_waitgraph or args.check_waitgraph
+    json_path = _json_sibling(target)
+    dot_dir = os.path.join(os.path.dirname(target) or ".", "waitgraph")
+    expected = {
+        target: render_waitgraph_markdown(artifact),
+        json_path: render_waitgraph_json(artifact),
+    }
+    for technique in artifact["techniques"]:
+        name = technique["technique"]
+        expected[os.path.join(dot_dir, f"{name}.dot")] = render_waitgraph_dot(
+            artifact, name
+        )
+
+    if args.write_waitgraph:
+        os.makedirs(dot_dir, exist_ok=True)
+        for path, content in expected.items():
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(content)
+        for name in os.listdir(dot_dir):
+            stale_path = os.path.join(dot_dir, name)
+            if name.endswith(".dot") and stale_path not in expected:
+                os.remove(stale_path)
+        print(f"wrote {target}, {json_path} and "
+              f"{len(artifact['techniques'])} DOT file(s) in {dot_dir}/ "
+              f"({artifact['summary']['blocking_sites']} blocking sites)")
+        return 0
+
+    stale = []
+    for path, content in sorted(expected.items()):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                current = handle.read()
+        except FileNotFoundError:
+            stale.append(f"{path}: missing")
+            continue
+        if current != content:
+            stale.append(f"{path}: out of date")
+    if stale:
+        for entry in stale:
+            print(entry, file=sys.stderr)
+        print(f"regenerate with: python -m repro.lint "
+              f"{' '.join(args.paths)} --write-waitgraph {target}",
+              file=sys.stderr)
+        return 1
+    print(f"wait graph up to date: {target}, {json_path}, {dot_dir}/")
+    return 0
+
+
 def _split_rules(values: Optional[List[str]]) -> Optional[List[str]]:
     if values is None:
         return None
@@ -150,6 +226,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.write_catalog or args.check_catalog:
         try:
             return _catalog_mode(args)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    if args.write_waitgraph or args.check_waitgraph:
+        try:
+            return _waitgraph_mode(args)
         except FileNotFoundError as exc:
             print(str(exc), file=sys.stderr)
             return 2

@@ -188,6 +188,55 @@ BROADCAST_METHODS = frozenset(
 )
 
 # ---------------------------------------------------------------------------
+# Wait graph (rules W501-W504)
+# ---------------------------------------------------------------------------
+# Receiver names (last dotted segment) that denote a 2PL lock manager, so
+# ``self.tm.locks.acquire(txn, item, mode, ...)`` is recognised wherever
+# the manager is reached from.
+LOCK_RECEIVER_NAMES = frozenset({"locks", "lock_manager"})
+LOCK_ACQUIRE_METHOD = "acquire"
+
+# ``txn.read/write`` route through ``Transaction.read/write``, which
+# always forward the manager-level ``lock_timeout`` to the lock manager,
+# so these sites count as *timed* lock acquisitions of the given mode.
+TXN_RECEIVER_NAMES = frozenset({"txn"})
+TXN_LOCK_METHODS = {"read": "r", "write": "w"}
+
+# Classes whose ``.run(...)`` drives an internally-timed blocking
+# sub-protocol (2PC votes carry the constructor's ``vote_timeout``); a
+# ``yield self.<attr>.run(...)`` where ``self.<attr>`` is constructed
+# from one of these counts as a timed wait and links the caller's
+# closure into the class's ``run`` method.
+COORDINATOR_CLASSES = frozenset({"TwoPhaseCoordinator"})
+COORDINATOR_RUN_METHOD = "run"
+
+# ``sim.all_of``/``any_of`` join futures produced by the call/lock sites
+# inside their arguments; the join itself is recorded for the artifact
+# but carries no timeout of its own.
+JOIN_METHODS = frozenset({"all_of", "any_of"})
+
+# Widening caps for the path-sensitive lock-order expansion: a function
+# whose branch product exceeds MAX_WAIT_PATHS collapses to one
+# linearised path; closure inlining stops at MAX_WAIT_DEPTH.
+MAX_WAIT_PATHS = 32
+MAX_WAIT_DEPTH = 12
+
+# ---------------------------------------------------------------------------
+# Rule metadata (SARIF helpUri)
+# ---------------------------------------------------------------------------
+# Per-family anchors into docs/linting.md; every registered rule derives
+# its SARIF ``helpUri`` from its id prefix so CI annotations link to the
+# rule's documentation section.
+FAMILY_HELP_URIS = {
+    "D": "docs/linting.md#determinism-d1xx",
+    "L": "docs/linting.md#layering-l2xx",
+    "P": "docs/linting.md#protocol-contract-p3xx",
+    "M": "docs/linting.md#message-flow-m4xx",
+    "W": "docs/linting.md#wait-graph-w5xx",
+}
+DEFAULT_HELP_URI = "docs/linting.md"
+
+# ---------------------------------------------------------------------------
 # Suppression
 # ---------------------------------------------------------------------------
 NOQA_MARKER = "repro: noqa"

@@ -161,24 +161,25 @@ _SARIF_LEVELS = {"error": "error", "warning": "warning"}
 def render_sarif(diagnostics: Sequence[Diagnostic]) -> str:
     """Render findings as a SARIF 2.1.0 log (for CI inline annotations).
 
-    Carries exactly the information of :func:`render_json`: every finding
-    maps to one ``result`` with its rule id, level, message and physical
-    location, and the driver's rule table documents each rule that fired.
+    Every finding maps to one ``result`` with its rule id, level, message
+    and physical location; the driver's rule table documents the whole
+    registry (id, name, descriptions, helpUri into docs/linting.md), so
+    CI annotations stay informative even for rules that did not fire.
     """
     from .registry import all_rules  # local import: registry imports us
 
-    fired = {d.rule for d in diagnostics}
     rules = [
         {
             "id": entry.id,
             "name": entry.name,
             "shortDescription": {"text": entry.summary},
+            "fullDescription": {"text": entry.doc or entry.summary},
+            "helpUri": entry.help_uri,
             "defaultConfiguration": {
                 "level": _SARIF_LEVELS.get(entry.severity, "warning"),
             },
         }
         for entry in all_rules()
-        if entry.id in fired
     ]
     results = [
         {

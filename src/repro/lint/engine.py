@@ -175,3 +175,4 @@ from . import contracts as _contracts  # noqa: E402,F401
 from . import determinism as _determinism  # noqa: E402,F401
 from . import layering as _layering  # noqa: E402,F401
 from . import msgflow as _msgflow  # noqa: E402,F401
+from . import waitgraph as _waitgraph  # noqa: E402,F401

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
+from .config import DEFAULT_HELP_URI, FAMILY_HELP_URIS
+
 __all__ = ["Rule", "rule", "all_rules", "get_rule", "selected_rules"]
 
 
@@ -27,6 +29,7 @@ class Rule:
     scope: str  # "file" | "project"
     check: Callable
     doc: str
+    help_uri: str = DEFAULT_HELP_URI
 
 
 _REGISTRY: Dict[str, Rule] = {}
@@ -49,6 +52,7 @@ def rule(rule_id: str, name: str, severity: str = "error", scope: str = "file"):
         _REGISTRY[rule_id] = Rule(
             id=rule_id, name=name, summary=summary, severity=severity,
             scope=scope, check=func, doc=doc,
+            help_uri=FAMILY_HELP_URIS.get(rule_id[:1], DEFAULT_HELP_URI),
         )
         return func
 

@@ -28,7 +28,7 @@ Causality model (one root per client request):
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from .metrics import MetricsRegistry
 from .spans import Span, SpanTracer
@@ -73,6 +73,7 @@ class Observer:
         self.metrics = MetricsRegistry()
         self._open_requests: Dict[str, Span] = {}
         self._open_phases: Dict[Tuple[str, object], Span] = {}
+        self.lock_sequence: List[Tuple[str, str, str, str]] = []
         self._finalized = False
 
     # -- client request lifecycle (called from repro.core) -----------------
@@ -176,6 +177,16 @@ class Observer:
         return span
 
     # -- locks (called from repro.db.locks, duck-typed) ----------------------
+
+    def on_lock_acquire(self, site: str, txn: object, item: str, mode: str) -> None:
+        """Every acquisition *request*, contended or not.
+
+        The sequence is what the wait-graph tests replay against the
+        static W5xx lock sites: each recorded (site, item, mode) must
+        match a lock pattern the analysis extracted.
+        """
+        self.lock_sequence.append((site, str(txn), item, mode))
+        self.metrics.inc("lock.requests", label=mode)
 
     def on_lock_wait(self, site: str, txn: object, item: str, mode: str) -> Span:
         return self.tracer.start(

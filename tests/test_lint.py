@@ -796,6 +796,252 @@ def test_cli_catalog_write_and_check(tmp_path, capsys):
     assert "--write-catalog" in stderr
 
 
+# ---------------------------------------------------------------------------
+# Wait-graph family
+# ---------------------------------------------------------------------------
+
+def test_w501_untimed_call_fires(tmp_path):
+    # The call has a registered, replying handler (so no M4xx noise) but
+    # no timeout: a crash of the callee hangs the caller forever.
+    paths = tree(tmp_path, {
+        "src/repro/core/flow.py":
+            "class Widget:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('flow.req', self._on_req)\n"
+            "    def kick(self):\n"
+            "        yield self.node.call('peer', 'flow.req', item=1)\n"
+            "    def _on_req(self, message):\n"
+            "        self.node.reply(message, ok=True)\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["W501"]
+    assert "timeout" in found[0].message
+    assert "flow.req" in found[0].message
+
+
+def test_w501_untimed_lock_fires(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/db/work.py":
+            "class Work:\n"
+            "    def __init__(self, locks):\n"
+            "        self.locks = locks\n"
+            "    def go(self, txn):\n"
+            "        yield self.locks.acquire(txn, 'alpha', 'w')\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["W501"]
+    assert "deadlock" in found[0].message
+
+
+def test_w501_timed_sites_clean(tmp_path):
+    # timeout= on the call and the acquire, and txn.read/write (which
+    # always forward the manager's lock_timeout) all pass.
+    paths = tree(tmp_path, {
+        "src/repro/core/flow.py":
+            "class Widget:\n"
+            "    def __init__(self, node, locks):\n"
+            "        self.node = node\n"
+            "        self.locks = locks\n"
+            "        node.on('flow.req', self._on_req)\n"
+            "    def kick(self, txn):\n"
+            "        yield self.locks.acquire(txn, 'alpha', 'w', timeout=5.0)\n"
+            "        value = yield txn.read('beta')\n"
+            "        yield self.node.call('peer', 'flow.req', item=value,\n"
+            "                             timeout=10.0)\n"
+            "    def _on_req(self, message):\n"
+            "        self.node.reply(message, ok=True)\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_w502_wait_cycle_fires(tmp_path):
+    # Each handler spawns a generator that blocks on a reply the *other*
+    # handler serves; both calls are timed, so only the cycle itself is
+    # the finding: a static distributed deadlock.
+    paths = tree(tmp_path, {
+        "src/repro/core/ping.py":
+            "class Ping:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('ping.req', self._on_req)\n"
+            "    def _on_req(self, message):\n"
+            "        self.node.spawn(self._serve(message))\n"
+            "    def _serve(self, message):\n"
+            "        yield self.node.call('peer', 'pong.req', timeout=5.0)\n"
+            "        self.node.reply(message, ok=True)\n",
+        "src/repro/core/pong.py":
+            "class Pong:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('pong.req', self._on_req)\n"
+            "    def _on_req(self, message):\n"
+            "        self.node.spawn(self._serve(message))\n"
+            "    def _serve(self, message):\n"
+            "        yield self.node.call('peer', 'ping.req', timeout=5.0)\n"
+            "        self.node.reply(message, ok=True)\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["W502"]
+    assert "Ping._on_req" in found[0].message
+    assert "Pong._on_req" in found[0].message
+
+
+def test_w502_acyclic_wait_chain_clean(tmp_path):
+    # The 2PC-participant shape: the serving handler answers without
+    # blocking on anything of its own, so the wait chain is acyclic.
+    paths = tree(tmp_path, {
+        "src/repro/core/ping.py":
+            "class Ping:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('ping.req', self._on_req)\n"
+            "    def kick(self):\n"
+            "        yield self.node.call('peer', 'ping.req', timeout=5.0)\n"
+            "    def _on_req(self, message):\n"
+            "        self.node.spawn(self._serve(message))\n"
+            "    def _serve(self, message):\n"
+            "        yield self.node.call('peer', 'pong.req', timeout=5.0)\n"
+            "        self.node.reply(message, ok=True)\n",
+        "src/repro/core/pong.py":
+            "class Pong:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('pong.req', self._on_req)\n"
+            "    def _on_req(self, message):\n"
+            "        self.node.reply(message, ok=True)\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_w503_lock_order_inversion_fires(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/db/orders.py":
+            "class Orders:\n"
+            "    def __init__(self, locks):\n"
+            "        self.locks = locks\n"
+            "    def forward(self, txn):\n"
+            "        yield self.locks.acquire(txn, 'alpha', 'w', timeout=5.0)\n"
+            "        yield self.locks.acquire(txn, 'beta', 'w', timeout=5.0)\n"
+            "    def backward(self, txn):\n"
+            "        yield self.locks.acquire(txn, 'beta', 'w', timeout=5.0)\n"
+            "        yield self.locks.acquire(txn, 'alpha', 'w', timeout=5.0)\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["W503"]
+    assert "alpha" in found[0].message and "beta" in found[0].message
+    assert "deadlock" in found[0].message
+
+
+def test_w503_consistent_order_and_shared_modes_clean(tmp_path):
+    paths = tree(tmp_path, {
+        # Same order on both paths: a global lock order exists.
+        "src/repro/db/same.py":
+            "class Same:\n"
+            "    def __init__(self, locks):\n"
+            "        self.locks = locks\n"
+            "    def one(self, txn):\n"
+            "        yield self.locks.acquire(txn, 'alpha', 'w', timeout=5.0)\n"
+            "        yield self.locks.acquire(txn, 'beta', 'w', timeout=5.0)\n"
+            "    def two(self, txn):\n"
+            "        yield self.locks.acquire(txn, 'alpha', 'w', timeout=5.0)\n"
+            "        yield self.locks.acquire(txn, 'beta', 'w', timeout=5.0)\n",
+        # Inverted order but all shared locks: readers coexist.
+        "src/repro/db/readers.py":
+            "class Readers:\n"
+            "    def __init__(self, locks):\n"
+            "        self.locks = locks\n"
+            "    def one(self, txn):\n"
+            "        yield self.locks.acquire(txn, 'gamma', 'r', timeout=5.0)\n"
+            "        yield self.locks.acquire(txn, 'delta', 'r', timeout=5.0)\n"
+            "    def two(self, txn):\n"
+            "        yield self.locks.acquire(txn, 'delta', 'r', timeout=5.0)\n"
+            "        yield self.locks.acquire(txn, 'gamma', 'r', timeout=5.0)\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_w504_untimed_call_under_lock_fires(tmp_path):
+    # The lock is timed, the call is not: W501 flags the call itself and
+    # W504 flags making it while the lock is held (starvation on crash).
+    paths = tree(tmp_path, {
+        "src/repro/core/mixed.py":
+            "class Mixed:\n"
+            "    def __init__(self, node, locks):\n"
+            "        self.node = node\n"
+            "        self.locks = locks\n"
+            "        node.on('mx.ack', self._on_ack)\n"
+            "    def _on_ack(self, message):\n"
+            "        self.node.reply(message, ok=True)\n"
+            "    def commit(self, txn):\n"
+            "        yield self.locks.acquire(txn, 'alpha', 'w', timeout=5.0)\n"
+            "        yield self.node.call('peer', 'mx.ack')\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["W501", "W504"]
+    w504 = next(d for d in found if d.rule == "W504")
+    assert "holding the lock" in w504.message
+
+
+def test_w504_cross_function_lock_context(tmp_path):
+    # The lock and the call live in different functions: the rule must
+    # follow the call chain to see the helper blocks while locked.
+    paths = tree(tmp_path, {
+        "src/repro/core/mixed.py":
+            "class Mixed:\n"
+            "    def __init__(self, node, locks):\n"
+            "        self.node = node\n"
+            "        self.locks = locks\n"
+            "        node.on('mx.ack', self._on_ack)\n"
+            "    def _on_ack(self, message):\n"
+            "        self.node.reply(message, ok=True)\n"
+            "    def commit(self, txn):\n"
+            "        yield self.locks.acquire(txn, 'alpha', 'w', timeout=5.0)\n"
+            "        yield from self._notify()\n"
+            "    def _notify(self):\n"
+            "        yield self.node.call('peer', 'mx.ack')\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["W501", "W504"]
+
+
+def test_w504_timed_call_under_lock_clean(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/mixed.py":
+            "class Mixed:\n"
+            "    def __init__(self, node, locks):\n"
+            "        self.node = node\n"
+            "        self.locks = locks\n"
+            "        node.on('mx.ack', self._on_ack)\n"
+            "    def _on_ack(self, message):\n"
+            "        self.node.reply(message, ok=True)\n"
+            "    def commit(self, txn):\n"
+            "        yield self.locks.acquire(txn, 'alpha', 'w', timeout=5.0)\n"
+            "        yield self.node.call('peer', 'mx.ack', timeout=5.0)\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_sarif_rules_table_documents_whole_registry(capsys):
+    # Satellite of the W5xx PR: the SARIF driver table must document
+    # every registered rule with real metadata, not placeholders, so CI
+    # annotations link into docs/linting.md even for rules that did not
+    # fire in a given run.
+    from repro.lint.diagnostics import render_sarif
+
+    log = json.loads(render_sarif([]))
+    entries = log["runs"][0]["tool"]["driver"]["rules"]
+    declared = {entry["id"] for entry in entries}
+    assert {r.id for r in all_rules()} == declared
+    assert {"W501", "W502", "W503", "W504"} <= declared
+    for entry in entries:
+        assert entry["helpUri"].startswith("docs/linting.md"), entry["id"]
+        assert entry["shortDescription"]["text"], entry["id"]
+        assert entry["fullDescription"]["text"], entry["id"]
+        if entry["id"].startswith("W"):
+            assert entry["helpUri"].endswith("#wait-graph-w5xx"), entry["id"]
+
+
 def test_rule_catalogue_has_docs():
     for entry in all_rules():
         assert entry.doc, f"rule {entry.id} has no documentation"
