@@ -8,9 +8,9 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check lint typecheck test baseline catalog catalog-check \
-	waitgraph waitgraph-check observe bench-json
+	waitgraph waitgraph-check observe bench-json chaos
 
-check: lint typecheck catalog-check waitgraph-check test
+check: lint typecheck catalog-check waitgraph-check test chaos
 
 lint:
 	$(PYTHON) -m repro.lint src/repro
@@ -24,6 +24,16 @@ typecheck:
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Chaos campaign matrix: every named fault campaign against every
+# registered technique, driven through the resilient client edge, with
+# obs evidence artifacts (trace + spans + metrics + verdict report per
+# cell) exported to CHAOS_OUT.  Fails if any cell violates its
+# technique's declared guarantee.  See docs/resilience.md.
+CHAOS_OUT ?= benchmarks/output/chaos
+CHAOS_SEED ?= 0
+chaos:
+	$(PYTHON) -m repro chaos --seed $(CHAOS_SEED) --out $(CHAOS_OUT)
 
 # Observed run of one technique (TECH=..., SEED=...): writes the
 # Perfetto trace, JSONL spans and metrics report to benchmarks/output/.

@@ -15,6 +15,12 @@ Commands
     Drive one technique with span tracing and metrics enabled and write
     the three run artifacts (Perfetto-loadable ``.trace.json``, JSONL
     spans, plain-text metrics report); see docs/observability.md.
+``chaos [--campaign NAME] [--technique NAME] [--seed N] [--out DIR]``
+    Run the chaos campaign matrix — every named fault campaign against
+    every technique by default — through the resilient client edge,
+    asserting each technique's declared guarantee and exporting obs
+    evidence artifacts; see docs/resilience.md.  ``--list`` shows the
+    campaigns.  Exits non-zero if any cell fails its guarantee.
 ``lint [paths] [options]``
     Run the static determinism/layering/contract linter
     (delegates to ``python -m repro.lint``; see docs/linting.md).
@@ -133,6 +139,50 @@ def cmd_observe(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import os
+
+    from .resilience import CAMPAIGNS, run_matrix
+
+    if args.list:
+        for name in sorted(CAMPAIGNS):
+            campaign = CAMPAIGNS[name]
+            print(f"{name}")
+            print(f"    {campaign.description}")
+        return 0
+    for name in args.campaign or ():
+        if name not in CAMPAIGNS:
+            print(f"unknown campaign {name!r}; try: python -m repro chaos --list",
+                  file=sys.stderr)
+            return 2
+    for name in args.technique or ():
+        if name not in REGISTRY:
+            print(f"unknown technique {name!r}; try: python -m repro list",
+                  file=sys.stderr)
+            return 2
+    observe = not args.no_observe
+    out = args.out if observe else None
+    if out:
+        os.makedirs(out, exist_ok=True)
+    reports = run_matrix(
+        campaigns=args.campaign or None,
+        techniques=args.technique or None,
+        seed=args.seed,
+        observe=observe,
+        artifact_dir=out,
+    )
+    for report in reports:
+        print(report.summary())
+    passed = sum(1 for r in reports if r.passed)
+    print()
+    print(f"{passed}/{len(reports)} cells passed "
+          f"({len({r.campaign for r in reports})} campaigns x "
+          f"{len({r.technique for r in reports})} techniques, seed {args.seed})")
+    if out:
+        print(f"evidence artifacts -> {out}/")
+    return 0 if passed == len(reports) else 1
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -159,10 +209,22 @@ def main(argv=None) -> int:
         if command == "observe":
             sp.add_argument("--out", default="benchmarks/output",
                             help="directory receiving the run artifacts")
+    sp = sub.add_parser("chaos", help="run the chaos campaign matrix")
+    sp.add_argument("--campaign", action="append",
+                    help="campaign name (repeatable; default: all)")
+    sp.add_argument("--technique", action="append",
+                    help="technique name (repeatable; default: all)")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--out", default="benchmarks/output/chaos",
+                    help="directory receiving the evidence artifacts")
+    sp.add_argument("--no-observe", action="store_true",
+                    help="skip span/metrics collection and artifact export")
+    sp.add_argument("--list", action="store_true",
+                    help="list the named campaigns and exit")
     args = parser.parse_args(argv)
     return {"list": cmd_list, "figures": cmd_figures,
             "compare": cmd_compare, "run": cmd_run,
-            "observe": cmd_observe}[args.command](args)
+            "observe": cmd_observe, "chaos": cmd_chaos}[args.command](args)
 
 
 if __name__ == "__main__":

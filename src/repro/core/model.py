@@ -82,6 +82,11 @@ class AbstractReplicationProtocol:
             node.on("request", self._make_handler(node))
             node.on("coordinate", self._make_coordinate_handler(node))
         self._response_future = None
+        # Duplicate-reply cache for the abstract walk: request ids that
+        # already completed the five phases.  A retried request is answered
+        # with a fresh END response instead of a second RE..AC walk, the
+        # same exactly-once contract the concrete techniques implement.
+        self._responded: set = set()
 
     # -- the walk ---------------------------------------------------------
 
@@ -99,6 +104,9 @@ class AbstractReplicationProtocol:
 
     def _make_handler(self, node: Node) -> Callable:
         def handle(message) -> None:
+            if message["request_id"] in self._responded:
+                node.send("client", "response", request_id=message["request_id"])
+                return
             node.spawn(self._serve(node, message), name=f"{node.name}-serve")
         return handle
 
@@ -135,6 +143,7 @@ class AbstractReplicationProtocol:
             )
         # Phase 5: response.
         self.tracer.record(contact, request_id, END)
+        self._responded.add(request_id)
         node.send("client", "response", request_id=request_id)
 
     def _make_coordinate_handler(self, node: Node) -> Callable:

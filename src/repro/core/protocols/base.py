@@ -84,10 +84,22 @@ class ReplicaProtocol:
 
     info: ProtocolInfo
 
+    # How long an in-flight request suppresses re-admission of a retry
+    # with the same id.  Longer than a 2PC round under COORDINATION_TIMEOUT,
+    # shorter than a client deadline budget: a stuck execution eventually
+    # lets a retry through instead of swallowing it forever.
+    _SERVING_TTL = 90.0
+
     def __init__(self, replica: "ReplicaNode", group: List[str], config: dict) -> None:
         self.replica = replica
         self.group = list(group)
         self.config = dict(config)
+        # request_id -> admission time of the execution currently running
+        # here.  Guards against a client retry re-entering handle_request
+        # while the first execution is still in flight (which would start
+        # a second transaction under the same id).  Volatile: cleared on
+        # host crash.
+        self._serving: Dict[str, float] = {}
         replica.node.on(CLIENT_REQUEST, self._on_client_request)
 
     # -- to implement ------------------------------------------------------
@@ -100,6 +112,37 @@ class ReplicaProtocol:
 
     def _on_client_request(self, message: Message) -> None:
         request = Request.from_wire(message["request"])
+        # Duplicate-reply cache: a request this replica already committed
+        # (same idempotency key — a client retry or a duplicated packet)
+        # is answered from the cache, never re-executed.  This is what
+        # keeps counters exact under retry storms: at-least-once delivery
+        # plus server-side dedup is exactly-once execution.
+        cached = self.replica.cached_reply(request.idempotency_key)
+        if cached is not None:
+            self.respond(message.src, request, committed=True, values=cached)
+            return
+        # Deadline budget: if the client has already given up on this
+        # envelope there is no point acquiring locks or running a
+        # coordination round for it — shed it with an explicit abort (the
+        # reply costs one message and is dropped if the client is gone).
+        if message.deadline is not None and self.sim.now > message.deadline:
+            self.respond(message.src, request, committed=False,
+                         reason="deadline exceeded")
+            return
+        started = self._serving.get(request.request_id)
+        if started is not None and self.sim.now - started < self._SERVING_TTL:
+            # Already executing here: the in-flight run will respond (the
+            # client matches replies by request id, not by attempt).
+            return
+        if self.busy_elsewhere(request):
+            # Another replica's execution of this request is in flight and
+            # its outcome is unknown here (e.g. a buffered 2PC workspace
+            # from a delegate that since crashed).  Starting a second,
+            # independent execution could double-apply; stay silent — the
+            # client's next retry lands after the decision has resolved,
+            # hitting either the duplicate-reply cache or a clean slate.
+            return
+        self._serving[request.request_id] = self.sim.now
         self.phase(request.request_id, RE)
         self.handle_request(request, message.src)
 
@@ -111,7 +154,15 @@ class ReplicaProtocol:
         values: Optional[List[Any]] = None,
         reason: str = "",
     ) -> None:
-        """Send the END-phase response back to the client."""
+        """Send the END-phase response back to the client.
+
+        Committed replies are remembered in the hosting replica's
+        duplicate-reply cache keyed by the request's idempotency key, so a
+        retried request is answered without re-execution.
+        """
+        if committed:
+            self.replica.remember_reply(request.idempotency_key, list(values or []))
+        self._serving.pop(request.request_id, None)
         self.phase(request.request_id, END)
         self.replica.node.send(
             client,
@@ -145,6 +196,15 @@ class ReplicaProtocol:
 
     def peers(self) -> List[str]:
         return [name for name in self.group if name != self.replica.name]
+
+    def busy_elsewhere(self, request: Request) -> bool:
+        """Is another replica's execution of ``request`` in flight here?
+
+        Protocols with cross-replica execution state (2PC workspaces)
+        override this so a retried request is not re-admitted while the
+        first execution's outcome is still undecided at this site.
+        """
+        return False
 
     def on_crash(self) -> None:
         """Hook: the hosting replica crashed (volatile state is gone)."""

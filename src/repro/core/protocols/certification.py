@@ -44,6 +44,7 @@ Mechanics:
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Set
 
 from collections import deque
@@ -117,6 +118,12 @@ class CertificationReplication(ReplicaProtocol):
         self._certified: Set[str] = set()
         self._local_values: Dict[str, list] = {}
         self._local_clients: Dict[str, str] = {}
+        # Per-broadcast execution nonce: _certified is keyed by it so a
+        # duplicated delivery of one broadcast certifies once, while a
+        # client retry (a *new* optimistic execution of the same request
+        # after an abort) gets a fresh certification instead of being
+        # silently swallowed at every replica.
+        self._exec_seq = itertools.count(1)
         # Speculative-processing pipeline (optimistic mode): work started
         # at tentative delivery, consumed at final delivery.
         self._spec_queue: deque = deque()
@@ -146,6 +153,7 @@ class CertificationReplication(ReplicaProtocol):
             writeset=[record.as_wire() for record in writeset],
             base_versions=base_versions,
             delegate=self.replica.name,
+            exec=f"{self.replica.name}:{next(self._exec_seq)}",
         )
 
     # -- everywhere: totally ordered certification ---------------------------------
@@ -157,14 +165,37 @@ class CertificationReplication(ReplicaProtocol):
     def _certify_and_reply(self, body: dict, extra_delay: float) -> None:
         request = Request.from_wire(body["request"])
         rid = request.request_id
-        if rid in self._certified:
+        exec_id = body.get("exec", rid)
+        if exec_id in self._certified:
             return
-        self._certified.add(rid)
+        self._certified.add(exec_id)
+        cached = self.replica.cached_reply(request.idempotency_key)
+        if cached is not None:
+            # An earlier attempt of this request already committed; this
+            # broadcast is a retry that raced the first commit's delivery.
+            # Certifying it against the already-applied writeset would
+            # double-apply, so replay the commit instead.
+            if body["delegate"] == self.replica.name:
+                client = self._local_clients.pop(rid, None)
+                self._local_values.pop(rid, None)
+                if client is not None:
+                    self.respond(client, request, committed=True, values=cached)
+            return
         self.phase(rid, AC, "certification")
         writeset = [UpdateRecord.from_wire(wire) for wire in body["writeset"]]
         outcome = self.certifier.certify(
             body["readset"], writeset, base_versions=body["base_versions"]
         )
+        if outcome.committed:
+            # Cache the commit at *every* replica, not just the delegate:
+            # a retry after the delegate crashed must not re-run the
+            # optimistic execution against the already-applied writeset
+            # (it would certify cleanly and double-apply).  Non-delegates
+            # never saw the read values, so they cache an empty value list
+            # — the retrying client still gets its committed verdict.
+            self.replica.remember_reply(
+                request.idempotency_key, self._local_values.get(rid, [])
+            )
         if body["delegate"] != self.replica.name:
             return
         client = self._local_clients.pop(rid, None)

@@ -177,7 +177,20 @@ class EagerPrimaryCopy(ReplicaProtocol):
                 self.replica.node.send(secondary, "2pc.decision", txn=rid, commit=False)
             self.respond(client, request, committed=False, reason=str(exc))
             return
-        # Final Agreement Coordination: two-phase commit.
+        # Final Agreement Coordination: two-phase commit.  A primary that
+        # was deposed while executing (false suspicion flipped the
+        # directory) must not start the round: participants would fence
+        # its prepares anyway, and aborting here releases locks sooner
+        # and gives the client a retryable routing miss.
+        if not self.is_primary:
+            txn.abort()
+            for secondary in secondaries:
+                self.replica.node.send(secondary, "2pc.decision", txn=rid, commit=False)
+            self.respond(
+                client, request, committed=False,
+                reason=f"not primary (primary is {self.replica.system.directory.primary})",
+            )
+            return
         self.phase(rid, AC, "2pc")
         committed = yield self.coordinator.run(rid, secondaries, local_vote=True)
         if committed:
@@ -289,9 +302,28 @@ class EagerPrimaryCopy(ReplicaProtocol):
             (message["item"], message["value"])
         )
 
-    def _on_prepare(self, txn_id: str) -> bool:
-        # A secondary can vote yes iff it holds the transaction workspace.
+    def _on_prepare(self, txn_id: str, coordinator: str) -> bool:
+        # A secondary can vote yes iff it holds the transaction workspace
+        # AND the coordinator is still the directory's primary.  The fence
+        # matters when a false suspicion promotes a new primary while the
+        # old one is alive and mid-round: without it, both primaries can
+        # commit the same retried request through disjoint participant
+        # sets, double-applying it.  The deposed coordinator's round must
+        # die; the client's retry lands at the new primary.
+        if coordinator != self.replica.system.directory.primary:
+            return False
         return txn_id in self._workspaces
+
+    def busy_elsewhere(self, request: Request) -> bool:
+        # A workspace buffered for another site's transaction over this
+        # request means a 2PC is prepared-but-undecided here; re-admitting
+        # the retry (e.g. after promotion) could double-apply.
+        rid = request.request_id
+        own_suffix = f"@{self.replica.name}"
+        return any(
+            txn.rsplit("@", 1)[0] == rid and not txn.endswith(own_suffix)
+            for txn in self._workspaces
+        )
 
     def _on_decision(self, txn_id: str, commit: bool) -> None:
         self._decided[txn_id] = commit
@@ -300,6 +332,11 @@ class EagerPrimaryCopy(ReplicaProtocol):
             self.phase(txn_id, AC, "2pc")
             for item, value in workspace:
                 self.store.write(item, value)
+            # Secondaries remember the commit under the request id (the
+            # default idempotency key): if this secondary is promoted and
+            # the client retries the same request, it is answered from the
+            # cache instead of re-executed on the new primary.
+            self.replica.remember_reply(txn_id.rsplit("@", 1)[0], [])
 
     # -- failover ---------------------------------------------------------------------
 

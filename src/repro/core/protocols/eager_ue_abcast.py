@@ -120,6 +120,11 @@ class EagerUpdateEverywhereAbcast(ReplicaProtocol):
         # update functions compute identical values at every site and run.
         request_rng = random.Random(zlib.crc32(rid.encode()))
         values, _updates = apply_request_to_store(self.store, request, request_rng)
+        # Execution is deterministic, so every replica can populate the
+        # duplicate-reply cache with the same values: a client retry that
+        # lands on a *different* replica (the delegate crashed) is answered
+        # from cache instead of re-abcast — exactly-once across failover.
+        self.replica.remember_reply(request.idempotency_key, values)
         if body["delegate"] == self.replica.name:
             # Only the delegate answers — the client knows one server.
             self.respond(body["client"], request, committed=True, values=values)

@@ -57,6 +57,8 @@ __all__ = ["EagerUpdateEverywhereLocking"]
 
 LOCK = "ueld.lock"
 BUFFER = "ueld.buffer"
+SYNC = "ueld.sync"
+CATCHUP = "ueld.catchup"
 
 
 class EagerUpdateEverywhereLocking(ReplicaProtocol):
@@ -114,6 +116,9 @@ class EagerUpdateEverywhereLocking(ReplicaProtocol):
         self._workspaces: Dict[str, List[tuple]] = {}
         replica.node.on(LOCK, self._on_lock_request)
         replica.node.on(BUFFER, self._on_buffer)
+        replica.node.on(SYNC, self._on_sync_request)
+        replica.node.on(CATCHUP, self._on_catchup)
+        replica.detector.on_suspect(self._on_peer_suspected)
         replica.node.on(S_BEGIN, self._on_session_begin)
         replica.node.on(S_OP, self._on_session_op)
         replica.node.on(S_COMMIT, self._on_session_commit)
@@ -156,6 +161,36 @@ class EagerUpdateEverywhereLocking(ReplicaProtocol):
         self._release_everywhere(txn_id)
         self.respond(client, request, committed=True, values=values)
 
+    def _write_quorum_size(self) -> int:
+        """Sites a write must lock: configured quorum, or all-live with a
+        majority floor.
+
+        Plain ROWA ("write all live") degrades to quorum-of-one under a
+        partition — both sides commit independently and one side's updates
+        are silently overwritten after the heal.  Flooring the dynamic
+        quorum at a majority of the *full* group keeps any two write
+        quorums intersecting: a minority side aborts with "quorum
+        unreachable" (a definitive, retryable outcome) instead of
+        split-brain committing.
+        """
+        if self.write_quorum is not None:
+            return self.write_quorum
+        n_live = len([n for n in self.group
+                      if not self.replica.detector.is_suspected(n)])
+        return max(n_live, len(self.group) // 2 + 1)
+
+    def busy_elsewhere(self, request: Request) -> bool:
+        # A buffered workspace for rid@<other-delegate> means that
+        # delegate's 2PC over this request has prepared here but not yet
+        # decided; admitting a retry now would race a second execution
+        # against the undecided first one.
+        rid = request.request_id
+        own_suffix = f"@{self.replica.name}"
+        return any(
+            txn.rsplit("@", 1)[0] == rid and not txn.endswith(own_suffix)
+            for txn in self._workspaces
+        )
+
     def _quorum_sites(self, count: int) -> List[str]:
         """``count`` sites starting at this replica, skipping suspected ones."""
         ring = self.group[self.group.index(self.replica.name):] + \
@@ -170,25 +205,26 @@ class EagerUpdateEverywhereLocking(ReplicaProtocol):
         """Read-lock R sites; return the highest-versioned (version, value)."""
         read_quorum = len(self.group) - (self.write_quorum or len(self.group)) + 1
         sites = self._quorum_sites(read_quorum)
-        grants = [
-            self.replica.node.call(
+        # Same fixed global acquisition order as writes (see
+        # _perform_operation): read and write quorums intersect, so an
+        # unordered read could form the second edge of a distributed
+        # deadlock cycle just as easily.
+        replies = []
+        for site in sorted(sites):
+            reply = yield self.replica.node.call(
                 site, LOCK, timeout=self.lock_timeout + 20.0,
                 txn=txn_id, item=item, mode=READ, lock_timeout=self.lock_timeout,
             )
-            for site in sites
-        ]
-        replies = yield self.sim.all_of(grants)
-        if not all(reply["granted"] for reply in replies):
-            raise TransactionAborted(txn_id, "read quorum denied")
+            if not reply["granted"]:
+                raise TransactionAborted(txn_id, "read quorum denied")
+            replies.append(reply)
         best = max(replies, key=lambda r: (r["version"], r["site"]))
         return best["version"], best["value"]
 
     def _execute(self, request: Request, client: str):
         rid = request.request_id
         txn_id = f"{rid}@{self.replica.name}"
-        n_live = len([n for n in self.group
-                      if not self.replica.detector.is_suspected(n)])
-        quorum_size = self.write_quorum if self.write_quorum is not None else n_live
+        quorum_size = self._write_quorum_size()
         values: List[Any] = []
         touched: List[str] = [self.replica.name]
         try:
@@ -209,7 +245,9 @@ class EagerUpdateEverywhereLocking(ReplicaProtocol):
             txn_id, [n for n in quorum if n != self.replica.name], local_vote=True
         )
         if committed:
+            workspace = list(self._workspaces.get(txn_id, []))
             self._on_decision(txn_id, True)
+            self._propagate_to_excluded(txn_id, quorum, workspace)
             self.respond(client, request, committed=True, values=values)
         else:
             self._on_decision(txn_id, False)
@@ -236,19 +274,25 @@ class EagerUpdateEverywhereLocking(ReplicaProtocol):
                 value = workspace[1]
             self.phase(rid, EX)
             return value
-        # SC: write lock at the whole write quorum.
+        # SC: write lock at the whole write quorum — acquired sequentially
+        # in a fixed global site order.  Parallel acquisition in ring
+        # order starting at the delegate (r0 locks r0,r1,r2 while r1
+        # locks r1,r2,r0) makes two delegates contending for one item
+        # deadlock *every* time, and timeout resolution aborts both, so
+        # under sustained retry load they livelock indefinitely.  With a
+        # total order the first site arbitrates: the loser waits there
+        # holding nothing else, and the winner's round runs unobstructed.
         self.phase(rid, SC, "locks")
-        grants = [
-            self.replica.node.call(
+        replies = []
+        for site in sorted(quorum):
+            reply = yield self.replica.node.call(
                 site, LOCK, timeout=self.lock_timeout + 20.0,
                 txn=txn_id, item=op.item, mode=WRITE,
                 lock_timeout=self.lock_timeout,
             )
-            for site in quorum
-        ]
-        replies = yield self.sim.all_of(grants)
-        if not all(reply["granted"] for reply in replies):
-            raise TransactionAborted(txn_id, "remote lock denied")
+            if not reply["granted"]:
+                raise TransactionAborted(txn_id, "remote lock denied")
+            replies.append(reply)
         # EX: compute the after-image once, install it at the quorum.
         # The current value/version come from the transaction's own
         # workspace or from the highest-versioned quorum copy (the
@@ -277,10 +321,7 @@ class EagerUpdateEverywhereLocking(ReplicaProtocol):
     def _on_session_begin(self, message: Message) -> None:
         sid = message["session"]
         try:
-            n_live = len([n for n in self.group
-                          if not self.replica.detector.is_suspected(n)])
-            size = self.write_quorum if self.write_quorum is not None else n_live
-            quorum = self._quorum_sites(size)
+            quorum = self._quorum_sites(self._write_quorum_size())
         except TransactionAborted as exc:
             self.replica.node.reply(message, ok=False, reason=str(exc))
             return
@@ -334,7 +375,10 @@ class EagerUpdateEverywhereLocking(ReplicaProtocol):
             [n for n in state["quorum"] if n != self.replica.name],
             local_vote=True,
         )
+        workspace = list(self._workspaces.get(state["txn_id"], []))
         self._on_decision(state["txn_id"], committed)
+        if committed:
+            self._propagate_to_excluded(state["txn_id"], state["quorum"], workspace)
         self.phase(sid, END)
         self.replica.node.reply(message, committed=committed)
 
@@ -400,13 +444,116 @@ class EagerUpdateEverywhereLocking(ReplicaProtocol):
             version=self.store.version(item), value=self.store.read(item),
         )
 
+    def _propagate_to_excluded(self, txn_id: str, quorum, workspace) -> None:
+        """Best-effort after-image propagation to non-quorum group members.
+
+        The majority floor (see :meth:`_write_quorum_size`) means a
+        commit's synchronous quorum may exclude live sites — typically a
+        replica that just recovered but is still suspected by the
+        delegate.  Shipping the committed after-images to the excluded
+        members keeps them converging instead of silently diverging until
+        the next full-group write.  Versioned installs make this
+        idempotent and safe to lose (a crashed member re-pulls on
+        recovery).
+
+        Only the dynamic ROWA mode repairs exclusions: under an explicit
+        ``write_quorum`` (weighted voting), touching exactly W sites is
+        the design — readers pay for the staleness with R-site reads —
+        not a degradation to patch up.
+        """
+        if self.write_quorum is not None or not workspace:
+            return
+        excluded = [
+            site for site in self.group
+            if site != self.replica.name and site not in quorum
+        ]
+        for site in excluded:
+            self.replica.node.send(
+                site, CATCHUP, txn=txn_id,
+                state=[[item, value, version] for item, value, version in workspace],
+            )
+
+    def _on_catchup(self, message: Message) -> None:
+        for item, value, version in message["state"]:
+            self.store.write_versioned(item, value, version)
+        # The catch-up carries a committed transaction: remember it under
+        # its request id so a client retry re-homed here is deduplicated.
+        self.replica.remember_reply(message["txn"].rsplit("@", 1)[0], [])
+
     def _on_buffer(self, message: Message) -> None:
         self._workspaces.setdefault(message["txn"], []).append(
             (message["item"], message["value"], message["version"])
         )
 
-    def _on_prepare(self, txn_id: str) -> bool:
+    def _on_prepare(self, txn_id: str, coordinator: str) -> bool:
+        # Update everywhere has no primacy to fence on; any delegate may
+        # coordinate.  Vote yes iff this site buffered the workspace.
         return txn_id in self._workspaces
+
+    # -- failure handling ---------------------------------------------------------
+
+    def _on_peer_suspected(self, peer: str) -> None:
+        """Abort a suspected delegate's *unprepared* transactions locally.
+
+        A delegate that crashes mid-round can never send its abort
+        decisions, so the locks it was granted here would wedge this copy
+        of every item it touched forever (and with ordered acquisition,
+        one wedged first-site lock stalls the whole group).  Releasing on
+        suspicion is safe even when the suspicion is false: dropping the
+        workspace means this site votes NO on any later PREPARE for the
+        transaction, so the live delegate's round aborts instead of
+        committing over state it no longer locks.  Transactions that
+        already *prepared* here stay blocked — that is 2PC's documented
+        blocking behaviour, repaired by the termination protocol once the
+        coordinator's journal is reachable again.
+        """
+        suffix = f"@{peer}"
+        candidates = set(self._workspaces) | self.tm.locks.holding_transactions()
+        for txn_id in sorted(candidates, key=str):
+            if not isinstance(txn_id, str) or not txn_id.endswith(suffix):
+                continue
+            if self.participant.blocked_for(txn_id) is not None:
+                continue
+            self._workspaces.pop(txn_id, None)
+            self.tm.locks.release_all(txn_id)
+
+    # -- recovery -----------------------------------------------------------------
+
+    def on_recover(self) -> None:
+        """Catch up after a restart.
+
+        Volatile state (workspaces, sessions) died with the node.  The
+        store survived, but the surviving majority kept committing while
+        this site was suspected — its write quorums simply stopped
+        including us — so the local copies may be arbitrarily stale.  Pull
+        every live peer's store and install whatever is newer (versions
+        make the merge idempotent) before serving delegates again.
+        """
+        self._workspaces.clear()
+        self._sessions.clear()
+        self.replica.node.spawn(
+            self._resync(), name=f"{self.replica.name}-resync"
+        )
+
+    def _resync(self):
+        for peer in self.peers():
+            if self.replica.detector.is_suspected(peer):
+                continue
+            try:
+                reply = yield self.replica.node.call(peer, SYNC, timeout=60.0)
+            except (TimeoutError, NodeCrashed):
+                continue
+            for item, value, version in reply["state"]:
+                self.store.write_versioned(item, value, version)
+
+    def _on_sync_request(self, message: Message) -> None:
+        self.replica.node.reply(
+            message,
+            state=[
+                [item, versioned.value, versioned.version]
+                for item, versioned in self.store.items()
+            ],
+        )
 
     def _on_decision(self, txn_id: str, commit: bool) -> None:
         workspace = self._workspaces.pop(txn_id, None)
@@ -415,6 +562,11 @@ class EagerUpdateEverywhereLocking(ReplicaProtocol):
                 # Non-delegate sites record their AC participation; the
                 # delegate already recorded AC when it started the 2PC.
                 self.phase(txn_id.split("@")[0], AC, "2pc")
+                # And remember the commit under the request id (default
+                # idempotency key) so a retry re-homed to this site after
+                # the delegate crashed is deduplicated, not re-executed.
+                # The delegate itself caches real values via respond().
+                self.replica.remember_reply(txn_id.rsplit("@", 1)[0], [])
             for item, value, version in workspace:
                 self.store.write_versioned(item, value, version)
         self.tm.locks.release_all(txn_id)

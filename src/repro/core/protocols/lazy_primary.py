@@ -146,6 +146,13 @@ class LazyPrimaryCopy(ReplicaProtocol):
         for wire in message["entries"]:
             updates = TransactionUpdates.from_wire(wire)
             self.tm.apply_updates(updates, log=False)
+            # Remember propagated commits under their request id: if this
+            # secondary is promoted, a client retry of a request the old
+            # primary already committed *and shipped* is answered from the
+            # cache.  (Unshipped commits are lost on failover — that is
+            # the price of laziness the paper points out, and the reason
+            # lazy techniques only promise convergence, not exactness.)
+            self.replica.remember_reply(str(updates.txn_id).rsplit("@", 1)[0], [])
 
     # -- failover -----------------------------------------------------------
 

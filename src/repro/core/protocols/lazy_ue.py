@@ -158,6 +158,10 @@ class LazyUpdateEverywhere(ReplicaProtocol):
         stamp = Stamp.from_wire(body["stamp"])
         for record in updates.records:
             self.reconciler.consider(record.item, record.value, stamp)
+        # Remember reconciled commits: a client whose home replica crashed
+        # retries at another site, which must not re-execute a transaction
+        # whose writeset already arrived here (see lazy_primary._on_apply).
+        self.replica.remember_reply(str(stamp.txn_id).rsplit("@", 1)[0], [])
 
     def _on_ordered(self, origin: str, mtype: str, body: dict) -> None:
         """Apply writesets in the ABCAST-determined after-commit order.
@@ -177,6 +181,7 @@ class LazyUpdateEverywhere(ReplicaProtocol):
                     self._overwritten_by_order.add(previous_txn)
             self._last_writer[record.item] = (stamp.txn_id, stamp)
             self.store.write(record.item, record.value)
+        self.replica.remember_reply(str(stamp.txn_id).rsplit("@", 1)[0], [])
 
     # -- introspection ---------------------------------------------------------------
 

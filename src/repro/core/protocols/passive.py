@@ -167,3 +167,17 @@ class PassiveReplication(ReplicaProtocol):
 
     def _on_forward(self, message) -> None:
         self.handle_request(Request.from_wire(message["request"]), message["client"])
+
+    # -- recovery -----------------------------------------------------------------
+
+    def on_recover(self) -> None:
+        """Re-join the group after a restart.
+
+        The surviving members excluded this replica via a view change when
+        it crashed, so membership does not come back for free: the
+        restarted backup asks to join, and the lowest-ranked survivor
+        transfers current state (store + result cache) with the INSTALL
+        message — without this, a recovered backup would serve from a
+        stale store forever.
+        """
+        self.view_group.join(self.peers())

@@ -115,6 +115,22 @@ class ReplicaNode:
         )
         self.tracer = system.tracer
         self.protocol = None  # set by ReplicatedSystem
+        # Duplicate-reply cache: idempotency key -> values of the committed
+        # reply.  A retried request whose key is here is answered from the
+        # cache instead of re-executed, which is what makes client retries
+        # exactly-once (aborts are not cached: retrying them should rerun).
+        # Survives crashes deliberately — it models durable server state,
+        # like the applied-transaction log a recovering replica replays.
+        self.reply_cache: Dict[str, List[Any]] = {}
+
+    def remember_reply(self, idem_key: str, values: List[Any]) -> None:
+        """Record the committed reply for ``idem_key`` (first write wins)."""
+        if idem_key not in self.reply_cache:
+            self.reply_cache[idem_key] = list(values)
+
+    def cached_reply(self, idem_key: str) -> Optional[List[Any]]:
+        """The committed values previously replied for ``idem_key``, if any."""
+        return self.reply_cache.get(idem_key)
 
     @property
     def crashed(self) -> bool:
@@ -122,7 +138,14 @@ class ReplicaNode:
 
     def _host_crashed(self) -> None:
         self.tm.abort_all_active("node crashed")
+        # The lock table is volatile: locks granted to *remote*
+        # transactions (not covered by abort_all_active) must not survive
+        # a restart, or a dropped abort decision wedges them forever.
+        self.tm.locks.reset()
         if self.protocol is not None:
+            # The in-flight request journal is volatile state: whatever was
+            # executing died with the node, so retries must be re-admitted.
+            self.protocol._serving.clear()
             self.protocol.on_crash()
 
     def _host_recovered(self) -> None:

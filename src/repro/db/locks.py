@@ -157,6 +157,25 @@ class LockManager:
         if request.timer is not None:
             request.timer.cancel()
 
+    def reset(self) -> None:
+        """Drop the entire lock table (host crash: lock state is volatile).
+
+        Releases local *and* remotely-granted locks — without this, a
+        write lock granted to another site's transaction would survive a
+        crash/recovery cycle and, the granting delegate's abort having
+        been dropped while this host was down, wedge the item forever.
+        Queued waiters are cancelled without resolution: the processes
+        waiting on them died with the host.
+        """
+        for queue in self._queues.values():
+            for request in queue:
+                self._cancel_request(request)
+        self._queues.clear()
+        self._holders.clear()
+        self._held_by_txn.clear()
+        self._ages.clear()
+        self._grant_times.clear()
+
     def _wake(self, item: str) -> None:
         queue = self._queues.get(item)
         if not queue:
@@ -278,6 +297,13 @@ class LockManager:
     def holds(self, txn: object, item: str, mode: str) -> bool:
         held = self._holders.get(item, {}).get(txn)
         return held == WRITE or held == mode
+
+    def holding_transactions(self) -> Set[object]:
+        """All transactions currently holding at least one lock."""
+        txns: Set[object] = set()
+        for holders in self._holders.values():
+            txns.update(holders)
+        return txns
 
     def waiting_count(self, item: Optional[str] = None) -> int:
         if item is not None:

@@ -11,6 +11,18 @@ protocols are: a participant that voted yes waits for the coordinator's
 decision and holds its locks; if the coordinator crashes, the participant
 stays blocked until an operator-like recovery step (``resolve_in_doubt``)
 is invoked.  The failover benchmark measures exactly this cost.
+
+Message loss, however, must not look like a coordinator crash: a dropped
+DECISION would otherwise leave one participant holding locks (and a stale
+store) forever while everyone else committed.  Participants therefore run
+the classic termination protocol — an in-doubt participant periodically
+asks the coordinator for the outcome (``2pc.status``).  The coordinator
+journals every decision in the same simulated event as the first decision
+send, so a journal miss (``known=False``) only ever means the round is
+still in flight and a real DECISION is coming; the participant keeps
+waiting.  A coordinator that is down simply doesn't answer — the
+participant stays blocked until it recovers, which is the blocking
+behaviour the paper ascribes to 2PC.
 """
 
 from __future__ import annotations
@@ -25,6 +37,7 @@ __all__ = ["TwoPhaseCoordinator", "TwoPhaseParticipant"]
 
 PREPARE = "2pc.prepare"
 DECISION = "2pc.decision"
+STATUS = "2pc.status"
 
 
 class TwoPhaseCoordinator:
@@ -46,6 +59,11 @@ class TwoPhaseCoordinator:
         self.rounds = 0
         self.committed = 0
         self.aborted = 0
+        # Decision journal: written in the same event as the first
+        # decision send, so an absent entry means no commit ever left this
+        # coordinator (the presumed-abort invariant behind _on_status).
+        self.decided: Dict[Any, bool] = {}
+        node.on(STATUS, self._on_status)
 
     def run(self, txn_id: Any, participants: List[str], local_vote: bool = True) -> Future:
         """Run 2PC for ``txn_id`` across ``participants`` (remote sites).
@@ -76,6 +94,7 @@ class TwoPhaseCoordinator:
                 "2pc", self.node.name, txn=txn_id,
                 decision="commit" if decision else "abort",
             )
+        self.decided[txn_id] = decision
         for participant in participants:
             self.node.send(participant, DECISION, txn=txn_id, commit=decision)
         if decision:
@@ -85,36 +104,93 @@ class TwoPhaseCoordinator:
         result.set_result(decision)
         return decision
 
+    def _on_status(self, message: Message) -> None:
+        """Answer an in-doubt participant's termination-protocol query.
+
+        ``known=False`` means the round is still collecting votes (even a
+        coordinator crash journals an abort on its way down, because the
+        :class:`~repro.errors.NodeCrashed` interrupt lands at the vote
+        wait); the participant keeps waiting for the real DECISION.
+        """
+        txn_id = message["txn"]
+        self.node.reply(
+            message,
+            known=txn_id in self.decided,
+            commit=self.decided.get(txn_id, False),
+        )
+
 
 class TwoPhaseParticipant:
     """Participant side of 2PC, one instance per node.
 
-    ``on_prepare(txn_id) -> bool`` computes the local vote; voting yes puts
-    the transaction *in doubt* until the decision arrives.
-    ``on_decision(txn_id, commit)`` applies the outcome.
+    ``on_prepare(txn_id, coordinator) -> bool`` computes the local vote
+    (``coordinator`` is the node that sent the PREPARE, so protocols can
+    fence rounds from a coordinator that lost its role — e.g. a deposed
+    primary); voting yes puts the transaction *in doubt* until the
+    decision arrives.  ``on_decision(txn_id, commit)`` applies the
+    outcome.
     """
 
     def __init__(
         self,
         node: Node,
-        on_prepare: Callable[[Any], bool],
+        on_prepare: Callable[[Any, str], bool],
         on_decision: Callable[[Any, bool], None],
         trace: Optional[TraceLog] = None,
+        decision_timeout: float = 30.0,
     ) -> None:
         self.node = node
         self.on_prepare = on_prepare
         self.on_decision = on_decision
         self.trace = trace
+        self.decision_timeout = decision_timeout
         self.in_doubt: Dict[Any, float] = {}
+        self.terminations = 0
         node.on(PREPARE, self._on_prepare_msg)
         node.on(DECISION, self._on_decision_msg)
 
     def _on_prepare_msg(self, message: Message) -> None:
         txn_id = message["txn"]
-        vote = bool(self.on_prepare(txn_id))
-        if vote:
+        vote = bool(self.on_prepare(txn_id, message.src))
+        if vote and txn_id not in self.in_doubt:
             self.in_doubt[txn_id] = self.node.sim.now
+            self.node.spawn(
+                self._terminate(txn_id, message.src),
+                name=f"2pc-indoubt-{txn_id}",
+            )
         self.node.reply(message, vote=vote)
+
+    def _terminate(self, txn_id: Any, coordinator: str):
+        """Cooperative termination: chase a decision that never arrived.
+
+        Wakes periodically while ``txn_id`` is in doubt and asks the
+        coordinator's decision journal.  A dead coordinator doesn't answer
+        (the call times out) and the participant stays blocked — only
+        *message loss* is repaired here, not coordinator failure.
+        """
+        sim = self.node.sim
+        while txn_id in self.in_doubt:
+            yield sim.timeout(self.decision_timeout)
+            if txn_id not in self.in_doubt:
+                return
+            try:
+                reply = yield self.node.call(
+                    coordinator, STATUS, timeout=self.decision_timeout,
+                    txn=txn_id,
+                )
+            except (TimeoutError, NodeCrashed):
+                continue
+            if reply["known"] and txn_id in self.in_doubt:
+                self.terminations += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        "2pc", self.node.name, txn=txn_id,
+                        decision="commit" if reply["commit"] else "abort",
+                        via="termination",
+                    )
+                self.in_doubt.pop(txn_id, None)
+                self.on_decision(txn_id, reply["commit"])
+                return
 
     def _on_decision_msg(self, message: Message) -> None:
         txn_id = message["txn"]

@@ -38,6 +38,20 @@ class NodeCrashed(ReproError):
     """An operation could not proceed because the hosting node crashed."""
 
 
+class Cancelled(ReproError):
+    """A pending operation was abandoned by its caller.
+
+    Raised out of a future when :meth:`repro.sim.Future.cancel` runs before
+    the future resolves — e.g. a client that gives up on an in-flight call
+    because its retry deadline expired.  Like :class:`TransactionAborted`
+    this is a normal outcome, not a bug.
+    """
+
+    def __init__(self, reason: object = None) -> None:
+        super().__init__(f"cancelled: {reason!r}" if reason is not None else "cancelled")
+        self.reason = reason
+
+
 class NetworkError(ReproError):
     """A message could not be delivered (partition, drop, unknown address)."""
 

@@ -5,6 +5,18 @@ simulated times, so a failure scenario is data (a schedule) rather than
 code sprinkled through a test.  The Section 6 performance-study benchmarks
 ("taking into account different workloads and failures assumptions") use it
 to compare protocols under identical fault timelines.
+
+Beyond the crash-stop faults of the paper's model, the injector also arms
+the network fault plane (message drop, duplication, reordering jitter and
+gray-failure slow nodes — see :meth:`repro.net.Network.set_fault`), which
+the chaos campaigns in :mod:`repro.resilience` compose into named
+scenarios.
+
+Node names are validated when a fault is *scheduled*, not when it fires:
+``crash_at(t, "typo")`` raises immediately instead of detonating deep in a
+run.  Random schedules draw from the dedicated ``failures.injector``
+stream, so adding or removing a campaign never perturbs workload
+randomness under the same seed.
 """
 
 from __future__ import annotations
@@ -29,28 +41,101 @@ class FailureInjector:
         self.network = network
         self.trace = trace
         self.planned: List[Tuple[float, str, str]] = []
+        # Own random stream: scheduling random faults must not advance
+        # `sim.rng`, which feeds latencies and workload generation.
+        self.rng = sim.stream("failures.injector")
+
+    def _validate(self, *node_names: str) -> None:
+        """Fail fast on unknown node names (raises NetworkError)."""
+        for name in node_names:
+            self.network.node(name)
 
     def crash_at(self, time: float, node_name: str) -> None:
         """Crash ``node_name`` at absolute time ``time``."""
+        self._validate(node_name)
         self.planned.append((time, "crash", node_name))
         self.sim.schedule_at(time, self._crash, node_name)
 
     def recover_at(self, time: float, node_name: str) -> None:
         """Recover ``node_name`` at absolute time ``time``."""
+        self._validate(node_name)
         self.planned.append((time, "recover", node_name))
         self.sim.schedule_at(time, self._recover, node_name)
 
     def partition_at(self, time: float, *groups: Iterable[str]) -> None:
         """Partition the network into ``groups`` at time ``time``."""
-        label = " | ".join(",".join(sorted(g)) for g in groups)
-        self.planned.append((time, "partition", label))
         frozen = [list(g) for g in groups]
+        self._validate(*(name for group in frozen for name in group))
+        label = " | ".join(",".join(sorted(g)) for g in frozen)
+        self.planned.append((time, "partition", label))
         self.sim.schedule_at(time, self._partition, frozen)
 
     def heal_at(self, time: float) -> None:
         """Remove any partition at time ``time``."""
         self.planned.append((time, "heal", ""))
         self.sim.schedule_at(time, self._heal)
+
+    # -- link-fault windows (network fault plane) --------------------------
+
+    def fault_at(
+        self,
+        time: float,
+        node_name: str,
+        kind: str,
+        value: float,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Arm a link fault on ``node_name`` at ``time``.
+
+        ``kind`` is one of ``"drop"``, ``"duplicate"``, ``"jitter"``,
+        ``"slow"`` (see :meth:`repro.net.Network.set_fault` for the
+        semantics and value ranges — values are validated here, at
+        schedule time).  With ``duration`` the fault self-clears after
+        that long; otherwise it stays armed until :meth:`clear_faults_at`.
+        """
+        self._validate(node_name)
+        # Borrow the network's range validation without arming anything.
+        if kind not in Network._FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected one of {Network._FAULT_KINDS}"
+            )
+        if kind in ("drop", "duplicate") and not 0.0 <= value < 1.0:
+            raise ValueError(f"{kind} probability must be in [0, 1), got {value}")
+        if kind == "jitter" and not value >= 0.0:
+            raise ValueError(f"jitter bound must be >= 0, got {value}")
+        if kind == "slow" and not value >= 1.0:
+            raise ValueError(f"slow factor must be >= 1, got {value}")
+        self.planned.append((time, kind, node_name))
+        self.sim.schedule_at(time, self._set_fault, node_name, kind, value)
+        if duration is not None:
+            self.clear_faults_at(time + duration, node_name)
+
+    def drop_at(self, time: float, node_name: str, rate: float,
+                duration: Optional[float] = None) -> None:
+        """Drop each message to/from ``node_name`` with probability ``rate``."""
+        self.fault_at(time, node_name, "drop", rate, duration)
+
+    def duplicate_at(self, time: float, node_name: str, rate: float,
+                     duration: Optional[float] = None) -> None:
+        """Duplicate delivered messages to/from ``node_name`` with probability ``rate``."""
+        self.fault_at(time, node_name, "duplicate", rate, duration)
+
+    def jitter_at(self, time: float, node_name: str, magnitude: float,
+                  duration: Optional[float] = None) -> None:
+        """Add uniform ``[0, magnitude]`` post-FIFO delay (reordering) on the node's links."""
+        self.fault_at(time, node_name, "jitter", magnitude, duration)
+
+    def slow_at(self, time: float, node_name: str, factor: float,
+                duration: Optional[float] = None) -> None:
+        """Multiply the node's link latency by ``factor`` (gray-failure slow node)."""
+        self.fault_at(time, node_name, "slow", factor, duration)
+
+    def clear_faults_at(self, time: float, node_name: Optional[str] = None) -> None:
+        """Disarm link faults for one node (or all nodes) at ``time``."""
+        if node_name is not None:
+            self._validate(node_name)
+        self.planned.append((time, "clear-faults", node_name or "*"))
+        self.sim.schedule_at(time, self._clear_faults, node_name)
 
     def random_crashes(
         self,
@@ -61,17 +146,19 @@ class FailureInjector:
     ) -> List[Tuple[float, str]]:
         """Schedule ``count`` crashes of distinct nodes at random times.
 
-        Times are drawn uniformly from ``window`` using the simulator RNG
-        (deterministic under a fixed seed).  Returns the schedule for
+        Times are drawn uniformly from ``window`` using the injector's own
+        named stream (deterministic under a fixed seed, and independent of
+        the workload draws on ``sim.rng``).  Returns the schedule for
         logging.  If ``recover_after`` is set, each crashed node recovers
         that long after its crash.
         """
         if count > len(node_names):
             raise ValueError(f"cannot crash {count} of {len(node_names)} nodes")
-        victims = self.sim.rng.sample(node_names, count)
+        self._validate(*node_names)
+        victims = self.rng.sample(node_names, count)
         schedule = []
         for victim in victims:
-            when = self.sim.rng.uniform(*window)
+            when = self.rng.uniform(*window)
             self.crash_at(when, victim)
             if recover_after is not None:
                 self.recover_at(when + recover_after, victim)
@@ -99,3 +186,15 @@ class FailureInjector:
         if self.trace is not None:
             self.trace.record("fault", "injector", action="heal")
         self.network.heal()
+
+    def _set_fault(self, node_name: str, kind: str, value: float) -> None:
+        if self.trace is not None:
+            self.trace.record("fault", "injector", action=kind, node=node_name,
+                              value=value)
+        self.network.set_fault(node_name, kind, value)
+
+    def _clear_faults(self, node_name: Optional[str]) -> None:
+        if self.trace is not None:
+            self.trace.record("fault", "injector", action="clear-faults",
+                              node=node_name or "*")
+        self.network.clear_faults(node_name)

@@ -43,6 +43,10 @@ ALLOWED_DEPS = {
     "analysis": frozenset(
         {"errors", "sim", "net", "failures", "groupcomm", "db", "core"}
     ),
+    "resilience": frozenset(
+        {"errors", "sim", "net", "obs", "failures", "groupcomm", "db", "core",
+         "analysis"}
+    ),
     "workload": frozenset(
         {"errors", "sim", "net", "failures", "groupcomm", "db", "core", "analysis"}
     ),
@@ -64,7 +68,7 @@ TOP_LEVEL_MAY_IMPORT_ANYTHING = True
 # exempt (they still must not perturb a run, but they hold no simulated
 # state).
 DETERMINISTIC_PACKAGES = frozenset(
-    {"core", "groupcomm", "db", "net", "failures", "sim", "obs"}
+    {"core", "groupcomm", "db", "net", "failures", "sim", "obs", "resilience"}
 )
 
 # ``random.<fn>()`` calls share the interpreter-global Mersenne state; any

@@ -978,6 +978,20 @@ def build_waitgraph_artifact(contexts: Sequence) -> Dict[str, Any]:
     untimed = [s for s in graph.sites if not s.timed and s.kind in (CALL, LOCK)]
     return {
         "techniques": techniques,
+        # Every non-wildcard handler registration in the tree, technique
+        # or not: the universe the handler-level wait edges point into
+        # (db-layer handlers like the 2PC termination protocol's status
+        # answerer serve waits but sit outside every technique closure).
+        "handlers": [
+            {
+                "type": ", ".join(
+                    sorted(render_pattern(p) for p in reg.patterns)
+                ),
+                "handler": reg.callback.label,
+                "at": _location(reg.file, reg.node),
+            }
+            for reg, _key in _handler_regs(graph)
+        ],
         "handler_wait_edges": [
             {"from": a, "type": t, "to": b, "at": at}
             for a, t, b, at in handler_edges

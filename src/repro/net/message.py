@@ -37,11 +37,17 @@ class Message:
         for this envelope (``None`` when the run is not observed).  It
         piggybacks on the envelope — not the payload — so observed and
         unobserved runs put identical bytes on the simulated wire.
+    deadline:
+        Absolute simulated time after which the sender no longer cares
+        about this request (``None`` when the sender set no budget).  Like
+        ``span_id`` it rides on the envelope, not the payload: a deadline
+        is routing/service metadata, not protocol state, and servers use
+        it to shed work for requests the client has already abandoned.
     """
 
     __slots__ = (
         "msg_id", "src", "dst", "type", "payload", "send_time", "reply_to",
-        "span_id",
+        "span_id", "deadline",
     )
 
     def __init__(
@@ -62,6 +68,7 @@ class Message:
         self.send_time = send_time
         self.reply_to = reply_to
         self.span_id: Optional[int] = None
+        self.deadline: Optional[float] = None
 
     def __getitem__(self, key: str) -> Any:
         return self.payload[key]

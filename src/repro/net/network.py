@@ -106,7 +106,14 @@ class _SharedPayload(dict):
 
 
 class NetworkStats:
-    """Counters describing network usage during a run."""
+    """Counters describing network usage during a run.
+
+    Conservation invariant (checked by the robustness property tests):
+    every envelope that enters the fabric leaves it exactly once, so
+    ``delivered + dropped_loss + dropped_partition + dropped_crash +
+    dropped_fault == sent + duplicated`` — fault-plane duplicates are
+    extra envelopes and are counted on the right-hand side.
+    """
 
     def __init__(self) -> None:
         self.sent = 0
@@ -114,6 +121,8 @@ class NetworkStats:
         self.dropped_loss = 0
         self.dropped_partition = 0
         self.dropped_crash = 0
+        self.dropped_fault = 0
+        self.duplicated = 0
         self.by_type: Counter = Counter()
 
     def messages_matching(self, prefix: str) -> int:
@@ -181,6 +190,16 @@ class Network:
         self._group_of: Optional[Dict[str, int]] = None
         self._last_arrival: Dict[tuple, float] = {}
         self._message_ids = itertools.count(1)
+        # Fault plane (chaos campaigns): per-node link misbehaviour, keyed
+        # by node name.  All randomness draws from the dedicated
+        # ``net.faults`` stream so arming a fault never perturbs the
+        # latency/loss draws of the base run under the same seed.
+        self._fault_drop: Dict[str, float] = {}
+        self._fault_dup: Dict[str, float] = {}
+        self._fault_jitter: Dict[str, float] = {}
+        self._fault_slow: Dict[str, float] = {}
+        self._have_faults = False
+        self._faults_rng: Optional[Any] = None
 
     # -- membership -----------------------------------------------------------
 
@@ -225,6 +244,64 @@ class Network:
         self._partition = None
         self._group_of = None
 
+    # -- fault plane -----------------------------------------------------------
+
+    _FAULT_KINDS = ("drop", "duplicate", "jitter", "slow")
+
+    def set_fault(self, node: str, kind: str, value: float) -> None:
+        """Arm a link fault on every link touching ``node``.
+
+        Kinds:
+
+        * ``"drop"`` — probability in ``[0, 1)`` that a message to or from
+          the node is silently discarded (gray packet loss beyond what the
+          reliable channels were tuned for).
+        * ``"duplicate"`` — probability in ``[0, 1)`` that a delivered
+          message is followed by a second, independently delayed copy of
+          the same envelope (same ``msg_id``: receivers must deduplicate).
+        * ``"jitter"`` — extra delay bound: each message gains a uniform
+          ``[0, value]`` delay *after* the FIFO clamp, so a jittered link
+          can reorder (the reordering fault of the campaign DSL).
+        * ``"slow"`` — latency multiplier ``>= 1`` on the node's links
+          (a gray-failure slow replica: alive, just late).
+        """
+        self.node(node)  # validate at arm time, not at first send
+        if kind not in self._FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; expected one of {self._FAULT_KINDS}")
+        if kind in ("drop", "duplicate") and not 0.0 <= value < 1.0:
+            raise ValueError(f"{kind} probability must be in [0, 1), got {value}")
+        if kind == "jitter" and not value >= 0.0:
+            raise ValueError(f"jitter bound must be >= 0, got {value}")
+        if kind == "slow" and not value >= 1.0:
+            raise ValueError(f"slow factor must be >= 1, got {value}")
+        table = getattr(self, f"_fault_{'dup' if kind == 'duplicate' else kind}")
+        table[node] = value
+        self._have_faults = True
+        if self._faults_rng is None:
+            self._faults_rng = self.sim.stream("net.faults")
+
+    def clear_faults(self, node: Optional[str] = None) -> None:
+        """Disarm faults for ``node``, or all faults when ``node`` is None."""
+        for table in (self._fault_drop, self._fault_dup, self._fault_jitter, self._fault_slow):
+            if node is None:
+                table.clear()
+            else:
+                table.pop(node, None)
+        self._have_faults = any(
+            (self._fault_drop, self._fault_dup, self._fault_jitter, self._fault_slow)
+        )
+
+    def active_faults(self, node: str) -> Dict[str, float]:
+        """The faults currently armed on ``node`` (kind -> value)."""
+        found = {}
+        for kind, table in (
+            ("drop", self._fault_drop), ("duplicate", self._fault_dup),
+            ("jitter", self._fault_jitter), ("slow", self._fault_slow),
+        ):
+            if node in table:
+                found[kind] = table[node]
+        return found
+
     def _same_side(self, a: str, b: str) -> bool:
         group_of = self._group_of
         if group_of is None:
@@ -243,8 +320,13 @@ class Network:
         type: str,
         payload: Optional[dict] = None,
         reply_to: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> Message:
-        """Send one message; returns the envelope (delivery not guaranteed)."""
+        """Send one message; returns the envelope (delivery not guaranteed).
+
+        ``deadline`` stamps the envelope with an absolute give-up time
+        (see :class:`Message`); it is metadata, not payload.
+        """
         message = Message(
             src=src,
             dst=dst,
@@ -254,6 +336,7 @@ class Network:
             reply_to=reply_to,
             msg_id=next(self._message_ids),
         )
+        message.deadline = deadline
         self.stats.sent += 1
         self.stats.by_type[type] += 1
         if self.trace is not None:
@@ -304,12 +387,62 @@ class Network:
             self._drop(message, "loss")
             return
         delay = self.latency.sample(self.sim.rng, message.src, message.dst)
+        if self._have_faults:
+            dropped, delay, extra = self._apply_faults(message, delay)
+            if dropped:
+                return
+        else:
+            extra = 0.0
         arrival = self.sim.now + delay
         if self.fifo:
             link = (message.src, message.dst)
             arrival = max(arrival, self._last_arrival.get(link, 0.0))
             self._last_arrival[link] = arrival
-        self.sim.schedule_at(arrival, self._deliver, message)
+        # Jitter lands *after* the FIFO clamp: a jittered link may reorder.
+        self.sim.schedule_at(arrival + extra, self._deliver, message)
+
+    def _apply_faults(self, message: Message, delay: float) -> tuple:
+        """Apply armed link faults; returns ``(dropped, delay, extra)``."""
+        rng = self._faults_rng
+        src, dst = message.src, message.dst
+        drop = max(self._fault_drop.get(src, 0.0), self._fault_drop.get(dst, 0.0))
+        if drop > 0.0 and rng.random() < drop:
+            self.stats.dropped_fault += 1
+            self._drop(message, "fault")
+            return True, delay, 0.0
+        slow = max(self._fault_slow.get(src, 1.0), self._fault_slow.get(dst, 1.0))
+        if slow > 1.0:
+            delay *= slow
+        jitter = self._fault_jitter.get(src, 0.0) + self._fault_jitter.get(dst, 0.0)
+        extra = rng.uniform(0.0, jitter) if jitter > 0.0 else 0.0
+        dup = max(self._fault_dup.get(src, 0.0), self._fault_dup.get(dst, 0.0))
+        if dup > 0.0 and rng.random() < dup:
+            self._duplicate(message, delay)
+        return False, delay, extra
+
+    def _duplicate(self, message: Message, delay: float) -> None:
+        """Inject a second, independently delayed copy of ``message``.
+
+        The copy keeps the original ``msg_id`` — it models the *same*
+        packet arriving twice, which is exactly what idempotency keys and
+        the duplicate-reply cache exist to absorb — but gets its own
+        payload tree so the two receivers' dispatches cannot alias.  The
+        copy is unobserved (``span_id`` stays None): the observer opened
+        one flight span for one logical send.
+        """
+        ghost = Message(
+            src=message.src,
+            dst=message.dst,
+            type=message.type,
+            payload=_copy_tree(message.payload),
+            send_time=message.send_time,
+            reply_to=message.reply_to,
+            msg_id=message.msg_id,
+        )
+        ghost.deadline = message.deadline
+        self.stats.duplicated += 1
+        lag = self._faults_rng.uniform(0.0, delay if delay > 0.0 else 1.0)
+        self.sim.schedule_at(self.sim.now + delay + lag, self._deliver, ghost)
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.dst)

@@ -1,0 +1,122 @@
+"""Per-node circuit breaker for the resilient client edge.
+
+A breaker guards one (client, server) pair and implements the classic
+three-state machine:
+
+* **closed** — requests flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the breaker
+  trips: requests are refused locally (no send) until ``reset_timeout``
+  of simulated time has passed.  This is what turns a retry storm against
+  a dead node into silence the rest of the system never sees.
+* **half-open** — after the cool-down, exactly one probe request is let
+  through.  Success closes the breaker; failure re-opens it for another
+  full cool-down.
+
+The state is exported as an obs gauge (``resilience.breaker.state`` with
+the pair as label, 0=closed / 1=open / 2=half-open) so campaign evidence
+artifacts show exactly when each edge tripped and recovered.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..sim import Simulator
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Three-state circuit breaker driven by the simulated clock."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    _GAUGE = {"closed": 0, "open": 1, "half_open": 2}
+
+    def __init__(
+        self,
+        sim: Simulator,
+        failure_threshold: int = 3,
+        reset_timeout: float = 60.0,
+        name: str = "",
+        obs: Optional[Any] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout <= 0:
+            raise ValueError(f"reset_timeout must be > 0, got {reset_timeout}")
+        self.sim = sim
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.name = name
+        self.obs = obs
+        self.state = self.CLOSED
+        self.failures = 0
+        self.transitions: List[Tuple[float, str]] = []
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self._export()
+
+    # -- decisions ---------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request be sent through this edge right now?"""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self.sim.now - self._opened_at >= self.reset_timeout:
+                self._transition(self.HALF_OPEN)
+                self._probe_inflight = True
+                return True
+            return False
+        # Half-open: one probe at a time.
+        if not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def reopens_in(self) -> float:
+        """Time until an open breaker admits its half-open probe (0 if now)."""
+        if self.state != self.OPEN:
+            return 0.0
+        return max(self.reset_timeout - (self.sim.now - self._opened_at), 0.0)
+
+    # -- outcomes ----------------------------------------------------------
+
+    def record_success(self) -> None:
+        """A request through this edge got a response."""
+        self.failures = 0
+        self._probe_inflight = False
+        if self.state != self.CLOSED:
+            self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        """A request through this edge timed out (or errored)."""
+        self._probe_inflight = False
+        if self.state == self.HALF_OPEN:
+            self._opened_at = self.sim.now
+            self._transition(self.OPEN)
+            return
+        self.failures += 1
+        if self.state == self.CLOSED and self.failures >= self.failure_threshold:
+            self._opened_at = self.sim.now
+            self._transition(self.OPEN)
+
+    # -- internals ---------------------------------------------------------
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        self.transitions.append((self.sim.now, state))
+        self._export()
+
+    def _export(self) -> None:
+        if self.obs is not None:
+            self.obs.metrics.set(
+                "resilience.breaker.state", self._GAUGE[self.state],
+                label=self.name or None,
+            )
+
+    def __repr__(self) -> str:
+        return f"<CircuitBreaker {self.name} {self.state} failures={self.failures}>"

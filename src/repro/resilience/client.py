@@ -1,0 +1,303 @@
+"""The resilient client edge.
+
+:class:`ResilientClient` is a production-style client stub layered over
+the same wire protocol as :class:`repro.core.system.ClientNode`, adding
+the robustness mechanics ROADMAP item 5 calls for:
+
+* **retry with exponential backoff + jitter** — deterministic: all
+  randomness draws from the client's named simulator stream, so same-seed
+  runs are byte-identical (see :class:`~repro.resilience.retry.RetryPolicy`);
+* **per-request deadline budgets** — the absolute give-up time rides on
+  the :class:`~repro.net.Message` envelope, and servers shed requests
+  whose budget already expired instead of working for an absent client;
+* **per-node circuit breakers** — closed/open/half-open with an obs
+  gauge (see :class:`~repro.resilience.breaker.CircuitBreaker`);
+* **idempotency keys** — retries resend the *same* request id, and the
+  server-side duplicate-reply cache (``ReplicaNode.reply_cache``) replays
+  the committed answer instead of re-executing, making retries
+  exactly-once even across a primary failover.
+
+Unlike ``ClientNode`` — which models the paper's blocking database client
+and waits forever for a slow server — the resilient edge retries through
+message loss, duplication and gray failure, and gives up definitively
+when its deadline budget is exhausted.
+
+Outcome taxonomy: a reply with ``committed=True`` or a definitive abort
+(lock timeout, deadlock, 2PC no-vote, certification conflict) finishes
+the request; ``"not primary"`` routing misses and server-side deadline
+sheds are retried against a re-resolved target; network silence is
+retried with backoff until the deadline budget runs out, which yields an
+*indeterminate* abort (``reason="deadline exceeded"``) — the one outcome
+whose server-side effect the client cannot know.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..core.operations import Operation, Request, Result
+from ..core.protocols.base import CLIENT_REQUEST, CLIENT_RESPONSE
+from ..net import Message, Node
+from ..sim import Future
+from .breaker import CircuitBreaker
+from .retry import RetryPolicy
+
+__all__ = ["ResilientClient"]
+
+# Abort reasons that indicate the request never ran and should be retried
+# against a (possibly re-resolved) target rather than reported.
+_ROUTING_PREFIXES = ("not primary", "deadline exceeded")
+
+
+class ResilientClient:
+    """Retrying, breaker-guarded, deadline-budgeted client edge.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.core.system.ReplicatedSystem` to talk to.  The
+        client registers its own node on the system's network and follows
+        the technique's declared client policy (all/primary/local).
+    index:
+        Distinguishes multiple resilient clients: names the node
+        (``rc<index>``) and picks the home replica round-robin.
+    request_timeout:
+        Per-attempt silence budget before the attempt is declared failed
+        and retried.
+    deadline:
+        Per-request total budget in simulated time.  Stamped on every
+        outgoing envelope; when it runs out the request finishes with an
+        indeterminate ``"deadline exceeded"`` abort.
+    retry:
+        The :class:`RetryPolicy`; defaults are sized for the default
+        one-unit-latency network.
+    breaker_threshold / breaker_reset:
+        Circuit-breaker tuning, applied per replica.
+    """
+
+    def __init__(
+        self,
+        system: Any,
+        index: int = 0,
+        name: Optional[str] = None,
+        request_timeout: float = 30.0,
+        deadline: float = 400.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 45.0,
+    ) -> None:
+        self.system = system
+        self.name = name or f"rc{index}"
+        self.node = Node(system.sim, system.net, self.name)
+        self.node.on(CLIENT_RESPONSE, self._on_response)
+        self.policy = system.info.client_policy
+        self.home = system.replica_names[index % len(system.replica_names)]
+        self.request_timeout = request_timeout
+        self.deadline = deadline
+        self.retry = retry if retry is not None else RetryPolicy()
+        # Client-owned randomness: jitter draws must not perturb the
+        # simulator's main stream (or each other's, across clients).
+        self.rng = system.sim.stream(f"resilience.{self.name}")
+        self.breakers: Dict[str, CircuitBreaker] = {
+            replica: CircuitBreaker(
+                system.sim,
+                failure_threshold=breaker_threshold,
+                reset_timeout=breaker_reset,
+                name=f"{self.name}->{replica}",
+                obs=system.observer,
+            )
+            for replica in system.replica_names
+        }
+        self._sequence = itertools.count(1)
+        self._inflight: Dict[str, Future] = {}
+        self.results: List[Result] = []
+
+    # -- public API --------------------------------------------------------
+
+    def submit(self, operations: Union[Operation, Iterable[Operation]]) -> Future:
+        """Submit a request; returns a future resolving to a Result.
+
+        The future *always* resolves by ``deadline`` simulated time units:
+        with the committed reply, a definitive abort, or an indeterminate
+        ``"deadline exceeded"`` abort.
+        """
+        if isinstance(operations, Operation):
+            operations = [operations]
+        request = Request.make(
+            tuple(operations), client=self.name, sequence=next(self._sequence)
+        )
+        future = self.system.sim.future(label=f"rc-result:{request.request_id}")
+        if self.system.observer is not None:
+            self.system.observer.on_request_submit(request.request_id, self.name)
+        self.node.spawn(
+            self._drive(request, future), name=f"rc-drive-{request.request_id}"
+        )
+        return future
+
+    # -- the retry loop ----------------------------------------------------
+
+    def _drive(self, request: Request, result_future: Future):
+        sim = self.system.sim
+        rid = request.request_id
+        submitted_at = sim.now
+        give_up_at = submitted_at + self.deadline
+        observer = self.system.observer
+        attempt = 0
+        reply = sim.future(label=f"rc-reply:{rid}")
+        self._inflight[rid] = reply
+        verdict: Optional[dict] = None
+        # Set once any attempt times out: from then on the request's
+        # server-side fate is unknown (a silent attempt may still be
+        # executing behind locks and commit later), so a definitive abort
+        # from a *later* attempt no longer proves "no effect".
+        fate_unknown = False
+
+        while verdict is None:
+            remaining = give_up_at - sim.now
+            if remaining <= 0:
+                verdict = {"committed": False, "values": [],
+                           "reason": "deadline exceeded", "server": ""}
+                break
+            if attempt >= self.retry.max_attempts:
+                verdict = {"committed": False, "values": [],
+                           "reason": "retry budget exhausted", "server": ""}
+                break
+            targets = self._targets(request)
+            if not targets:
+                # Every candidate's breaker is open: wait out the shortest
+                # cool-down (bounded by the deadline) and re-evaluate.
+                pause = max(min(self._shortest_reopen(), remaining), 1.0)
+                yield sim.timeout(pause)
+                continue
+            attempt += 1
+            if attempt > 1 and observer is not None:
+                observer.metrics.inc("resilience.retries")
+            self._send(targets, request, give_up_at)
+            wait = min(self.request_timeout, remaining)
+            index, value = yield sim.any_of(
+                [reply, sim.timeout(wait)], label=f"rc-wait:{rid}"
+            )
+            if index == 0:
+                # Re-arm for a potential next attempt before classifying.
+                reply = sim.future(label=f"rc-reply:{rid}")
+                self._inflight[rid] = reply
+                breaker = self.breakers.get(value["server"])
+                if breaker is not None:
+                    breaker.record_success()
+                if value["committed"]:
+                    verdict = value
+                    break
+                if not self._retryable(value["reason"]):
+                    if not fate_unknown:
+                        verdict = value
+                        break
+                    # Tainted abort: this attempt aborted cleanly, but an
+                    # earlier attempt of the same id went silent and may
+                    # still commit (e.g. stuck behind locks at a lagging
+                    # replica).  Settling now — and resubmitting under a
+                    # fresh id — could orphan that commit and double-apply.
+                    # Keep retrying the same id: the duplicate-reply cache
+                    # replays the commit if it lands, and the deadline
+                    # bounds the wait otherwise.
+                    if observer is not None:
+                        observer.metrics.inc("resilience.tainted_aborts")
+            else:
+                # Silence: the attempt failed as far as this edge knows.
+                fate_unknown = True
+                for target in targets:
+                    self.breakers[target].record_failure()
+                if observer is not None:
+                    observer.metrics.inc("resilience.attempt_timeouts")
+            backoff = self.retry.backoff(attempt, self.rng)
+            yield sim.timeout(min(backoff, max(give_up_at - sim.now, 0.0)))
+
+        self._inflight.pop(rid, None)
+        result = Result(
+            request_id=rid,
+            committed=bool(verdict["committed"]),
+            values=list(verdict["values"]),
+            reason=verdict["reason"],
+            submitted_at=submitted_at,
+            completed_at=sim.now,
+            server=verdict["server"],
+            retries=max(attempt - 1, 0),
+            operations=request.operations,
+        )
+        self.results.append(result)
+        if observer is not None:
+            observer.on_request_complete(
+                rid, result.committed, reason=result.reason, retries=result.retries
+            )
+            if result.reason == "deadline exceeded":
+                observer.metrics.inc("resilience.deadline_exceeded")
+        result_future.set_result(result)
+
+    # -- routing -----------------------------------------------------------
+
+    def _targets(self, request: Request) -> List[str]:
+        if self.policy == "all":
+            candidates = list(self.system.replica_names)
+        elif self.policy == "primary":
+            if request.read_only and self.system.info.reads_anywhere:
+                candidates = [self.home]
+            else:
+                candidates = [self.system.directory.primary]
+        else:
+            # Local policy: reconnect when the home replica is down — a
+            # crash (the connection breaks, per Section 4.1) or a tripped
+            # breaker (the edge has given up on a gray-failing home).  Any
+            # replica accepts updates under these techniques, so rotation
+            # is safe; the reconnect is sticky.
+            names = self.system.replica_names
+            start = names.index(self.home) if self.home in names else 0
+            for offset in range(len(names)):
+                candidate = names[(start + offset) % len(names)]
+                if self.system.replicas[candidate].crashed:
+                    continue
+                if self.breakers[candidate].allow():
+                    self.home = candidate
+                    return [candidate]
+            return []
+        return [t for t in candidates if self.breakers[t].allow()]
+
+    def _shortest_reopen(self) -> float:
+        waits = [b.reopens_in() for b in self.breakers.values()]
+        return min(waits) if waits else 0.0
+
+    def _retryable(self, reason: str) -> bool:
+        return any(reason.startswith(prefix) for prefix in _ROUTING_PREFIXES)
+
+    def _send(self, targets: List[str], request: Request, give_up_at: float) -> None:
+        observer = self.system.observer
+        if observer is not None:
+            with observer.request_context(request.request_id):
+                self._send_raw(targets, request, give_up_at)
+        else:
+            self._send_raw(targets, request, give_up_at)
+
+    def _send_raw(self, targets: List[str], request: Request, give_up_at: float) -> None:
+        for target in targets:
+            # Straight through the network layer so the deadline budget
+            # rides on the envelope (Node.send exposes payload kwargs only).
+            self.system.net.send(
+                self.name, target, CLIENT_REQUEST,
+                payload={"request": request.as_wire()},
+                deadline=give_up_at,
+            )
+
+    # -- responses ---------------------------------------------------------
+
+    def _on_response(self, message: Message) -> None:
+        future = self._inflight.get(message["request_id"])
+        if future is None or future.done:
+            return  # late or duplicate reply; the request already settled
+        future.set_result({
+            "committed": message["committed"],
+            "values": list(message["values"]),
+            "reason": message["reason"],
+            "server": message["server"],
+        })
+
+    def __repr__(self) -> str:
+        return f"<ResilientClient {self.name} policy={self.policy} home={self.home}>"

@@ -1,0 +1,53 @@
+"""Deterministic retry policy: exponential backoff with jitter.
+
+The policy is pure data plus a pure function of ``(attempt, rng)``: all
+randomness comes from the caller-supplied stream, so a client that owns a
+named simulator stream (see :meth:`repro.sim.Simulator.stream`) produces
+the same backoff schedule on every same-seed run — chaos campaigns stay
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded decorrelating jitter.
+
+    Attempt ``n`` (1-based) backs off for
+    ``min(base * multiplier**(n-1), cap)`` scaled by a uniform draw from
+    ``[1 - jitter, 1]``.  Jitter desynchronizes a fleet of retrying
+    clients (the classic retry-storm fix) without ever exceeding the
+    deterministic envelope, which keeps worst-case budgets computable.
+
+    ``max_attempts`` bounds the total number of sends for one logical
+    request; the client gives up with a definitive abort after that.
+    """
+
+    base: float = 5.0
+    multiplier: float = 2.0
+    cap: float = 60.0
+    jitter: float = 0.5
+    max_attempts: int = 12
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError(f"base backoff must be > 0, got {self.base}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter fraction must be in [0, 1], got {self.jitter}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based), in sim time."""
+        raw = min(self.base * self.multiplier ** max(attempt - 1, 0), self.cap)
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 - self.jitter * rng.random())

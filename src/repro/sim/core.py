@@ -47,9 +47,10 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, Generator, Iterable, List, Optional
+import zlib
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
-from ..errors import ProcessInterrupted, SimulationError
+from ..errors import Cancelled, ProcessInterrupted, SimulationError
 
 __all__ = [
     "Simulator",
@@ -171,6 +172,20 @@ class Future:
         self.set_result(value)
         return True
 
+    def cancel(self, reason: object = None) -> bool:
+        """Abandon the future: resolve it with :class:`~repro.errors.Cancelled`.
+
+        Returns whether this call cancelled it (``False`` if already done).
+        Cancellation runs the future's callbacks like any other resolution,
+        so cleanup hooks registered by the producer — e.g. the timeout-guard
+        teardown :meth:`repro.net.Node.call` attaches to its reply future —
+        fire immediately instead of leaking until their backstop timer.
+        """
+        if self._done:
+            return False
+        self.set_exception(Cancelled(reason if reason is not None else self.label))
+        return True
+
     def _resolve(self, value: Any, exc: Optional[BaseException]) -> None:
         if self._done:
             raise SimulationError(f"future {self.label!r} resolved twice")
@@ -289,6 +304,19 @@ class Process(Future):
             # Not yet started or currently being stepped: deliver at the
             # next resumption.
             self._interrupt_pending = exc
+
+    def cancel(self, reason: object = None) -> bool:
+        """Cancel the process by interrupting it with :class:`Cancelled`.
+
+        Overrides :meth:`Future.cancel`: resolving a process future from
+        outside while its generator keeps running would make the generator's
+        own return hit "resolved twice", so cancellation is delivered as an
+        interrupt at the current yield point instead.
+        """
+        if self.done:
+            return False
+        self.interrupt(Cancelled(reason if reason is not None else self.name))
+        return True
 
     # -- kernel internals --------------------------------------------------
 
@@ -438,6 +466,24 @@ class Simulator:
         self.events_processed = 0
         self.rng = random.Random(seed)
         self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """A named random stream derived from the simulator seed.
+
+        Each name gets its own :class:`random.Random` seeded from
+        ``(seed, crc32(name))``, created on first use and cached.  Streams
+        are independent of ``sim.rng`` and of each other, so a subsystem
+        drawing from its own stream (fault injection, client backoff
+        jitter) never perturbs workload randomness under the same seed —
+        adding a chaos campaign leaves the base run byte-identical.
+        """
+        stream = self._streams.get(name)
+        if stream is None:
+            derived = (self.seed or 0) * 1_000_003 + zlib.crc32(name.encode("utf-8"))
+            stream = random.Random(derived)
+            self._streams[name] = stream
+        return stream
 
     def _next_anonymous_id(self) -> int:
         """Deterministic id for unnamed processes (never reset)."""

@@ -145,6 +145,72 @@ class TestDetectorFlapping:
         assert not counter_check(committed, stores, strict=False)
 
 
+class TestFaultPlaneChaos:
+    """The link-fault kinds beyond crash/partition, via the injector."""
+
+    def test_drop_storm_with_retries_stays_exact(self):
+        system = ReplicatedSystem(
+            "active", replicas=3, clients=2, seed=9,
+            fd_interval=2.0, fd_timeout=8.0, client_timeout=40.0,
+        )
+        system.injector.drop_at(15.0, "r1", 0.4, duration=80.0)
+        system.injector.duplicate_at(15.0, "r0", 0.3, duration=80.0)
+        results = []
+
+        def client_loop(index):
+            for _ in range(6):
+                result = yield system.client(index).submit(
+                    [Operation.update("x", "add", 1)]
+                )
+                attempts = 0
+                while not result.committed and attempts < 10:
+                    attempts += 1
+                    yield system.sim.timeout(10.0)
+                    result = yield system.client(index).submit(
+                        [Operation.update("x", "add", 1)]
+                    )
+                results.append(result)
+                yield system.sim.timeout(10.0)
+
+        handles = [system.sim.spawn(client_loop(i)) for i in range(2)]
+        system.sim.run_until_done(system.sim.all_of(handles))
+        system.net.clear_faults()
+        system.settle(600)
+        committed = [r for r in results if r.committed]
+        assert len(committed) == 12
+        stores = {n: system.store_of(n) for n in system.live_replicas()}
+        assert not counter_check(committed, stores, strict=False)
+
+    def test_gray_slow_node_never_breaks_safety(self):
+        # r1 is alive but 10x slow: detectors flap, consensus must still
+        # exclude-or-wait correctly and counters stay exact.
+        system = ReplicatedSystem(
+            "semi_passive", replicas=3, clients=2, seed=10,
+            fd_interval=2.0, fd_timeout=6.0, client_timeout=60.0,
+        )
+        system.injector.slow_at(10.0, "r1", 10.0, duration=100.0)
+        system.injector.jitter_at(10.0, "r2", 5.0, duration=100.0)
+        results = []
+
+        def client_loop(index):
+            for _ in range(5):
+                results.append(
+                    (yield system.client(index).submit(
+                        [Operation.update("x", "add", 1)]
+                    ))
+                )
+                yield system.sim.timeout(20.0)
+
+        handles = [system.sim.spawn(client_loop(i)) for i in range(2)]
+        system.sim.run_until_done(system.sim.all_of(handles))
+        system.net.clear_faults()
+        system.settle(600)
+        committed = [r for r in results if r.committed]
+        stores = {n: system.store_of(n) for n in system.live_replicas()}
+        assert not counter_check(committed, stores, strict=False)
+        assert system.converged(), system.divergent_replicas()
+
+
 class TestPartitionsAndHealing:
     def test_lazy_ue_partition_heal_reconciles(self):
         system = ReplicatedSystem(

@@ -1,0 +1,354 @@
+"""The resilient client edge and the chaos campaign engine.
+
+Covers the robustness layer bottom-up: named simulator streams (the
+determinism substrate), the retry policy envelope, the circuit-breaker
+state machine, the call timeout-guard cancellation, the resilient client's
+outcome taxonomy, and the campaign engine's verdicts and determinism.
+The full 5x10 campaign matrix runs under ``make chaos``; these tests pin
+the mechanics it is built from.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro import Operation, ReplicatedSystem
+from repro.analysis import counter_check
+from repro.errors import NetworkError
+from repro.net import ConstantLatency, Network, Node
+from repro.resilience import (
+    CAMPAIGNS,
+    ChaosCampaign,
+    CircuitBreaker,
+    FaultAction,
+    ResilientClient,
+    RetryPolicy,
+    run_campaign,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Named streams: the determinism substrate under retry jitter and faults
+# ---------------------------------------------------------------------------
+
+class TestNamedStreams:
+    def test_same_seed_same_name_same_draws(self):
+        a = Simulator(seed=42).stream("resilience.rc0")
+        b = Simulator(seed=42).stream("resilience.rc0")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_streams_are_cached_per_name(self):
+        sim = Simulator(seed=1)
+        assert sim.stream("x") is sim.stream("x")
+        assert sim.stream("x") is not sim.stream("y")
+
+    def test_stream_draws_do_not_perturb_main_rng(self):
+        plain = Simulator(seed=7)
+        mixed = Simulator(seed=7)
+        for _ in range(50):
+            mixed.stream("failures.injector").random()
+        assert [plain.rng.random() for _ in range(10)] == [
+            mixed.rng.random() for _ in range(10)
+        ]
+
+    def test_distinct_names_give_independent_sequences(self):
+        sim = Simulator(seed=3)
+        a = [sim.stream("a").random() for _ in range(5)]
+        b = [sim.stream("b").random() for _ in range(5)]
+        assert a != b
+
+
+# ---------------------------------------------------------------------------
+# Retry policy: pure data, bounded envelope
+# ---------------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base=5.0, multiplier=2.0, cap=60.0, jitter=0.0)
+        rng = random.Random(0)
+        assert [policy.backoff(n, rng) for n in range(1, 6)] == [
+            5.0, 10.0, 20.0, 40.0, 60.0
+        ]
+
+    def test_jitter_stays_inside_envelope(self):
+        policy = RetryPolicy(base=10.0, multiplier=1.0, cap=10.0, jitter=0.5)
+        rng = random.Random(1)
+        for attempt in range(1, 20):
+            backoff = policy.backoff(attempt, rng)
+            assert 5.0 <= backoff <= 10.0
+
+    def test_same_stream_same_schedule(self):
+        policy = RetryPolicy()
+        a = [policy.backoff(n, random.Random(9)) for n in range(1, 8)]
+        b = [policy.backoff(n, random.Random(9)) for n in range(1, 8)]
+        assert a == b
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base": 0.0},
+        {"multiplier": 0.5},
+        {"jitter": 1.5},
+        {"max_attempts": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker: closed -> open -> half-open -> closed
+# ---------------------------------------------------------------------------
+
+def advance(sim, delay):
+    sim.run(until=sim.now + delay)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_refuses(self):
+        sim = Simulator(seed=0)
+        breaker = CircuitBreaker(sim, failure_threshold=3, reset_timeout=60.0)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_half_open_admits_exactly_one_probe(self):
+        sim = Simulator(seed=0)
+        breaker = CircuitBreaker(sim, failure_threshold=1, reset_timeout=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        advance(sim, 10.0)
+        assert breaker.allow()           # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()       # second request while probe in flight
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        sim = Simulator(seed=0)
+        breaker = CircuitBreaker(sim, failure_threshold=1, reset_timeout=10.0)
+        breaker.record_failure()
+        advance(sim, 10.0)
+        assert breaker.allow()
+        breaker.record_failure()         # probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.reopens_in() == pytest.approx(10.0)
+        advance(sim, 10.0)
+        assert breaker.allow()
+        breaker.record_success()         # probe succeeded
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_consecutive_failures(self):
+        sim = Simulator(seed=0)
+        breaker = CircuitBreaker(sim, failure_threshold=3, reset_timeout=60.0)
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_transitions_are_recorded_for_evidence(self):
+        sim = Simulator(seed=0)
+        breaker = CircuitBreaker(sim, failure_threshold=1, reset_timeout=5.0)
+        breaker.record_failure()
+        advance(sim, 5.0)
+        breaker.allow()
+        breaker.record_success()
+        assert [state for _, state in breaker.transitions] == [
+            "open", "half_open", "closed"
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Call timeout guard: no dead timers queuing behind resolved calls
+# ---------------------------------------------------------------------------
+
+class TestCallTimeoutGuard:
+    def _pair(self):
+        sim = Simulator(seed=0)
+        net = Network(sim, latency=ConstantLatency(1.0))
+        a, b = Node(sim, net, "a"), Node(sim, net, "b")
+        return sim, a, b
+
+    def test_reply_cancels_the_guard_timer(self):
+        sim, a, b = self._pair()
+        b.on("ping", lambda msg: b.reply(msg, ok=True))
+        future = a.call("b", "ping", timeout=500.0)
+        sim.run(until=10.0)
+        assert future.done and future.result["ok"]
+        # The 500-unit guard was cancelled at reply time and now sits in
+        # the queue as a dead event (discarded without firing when the run
+        # reaches it) instead of keeping the clock hostage until t=500.
+        assert sim.dead_events >= 1
+        sim.run()
+        assert sim.now < 500.0
+
+    def test_abandoned_call_cancels_guard_and_pending_entry(self):
+        sim, a, b = self._pair()
+        b.on("ping", lambda msg: None)   # never replies
+        future = a.call("b", "ping", timeout=500.0)
+        advance(sim, 5.0)
+        assert not future.done
+        assert future.cancel("caller abandoned the retry attempt")
+        # Cleanup ran: the reply-correlation entry is gone and the guard
+        # timer is dead, so a retrying caller leaks nothing per attempt.
+        assert not a._pending_calls
+        assert sim.dead_events >= 1
+
+
+# ---------------------------------------------------------------------------
+# Fault injector: schedule-time validation, deterministic random schedules
+# ---------------------------------------------------------------------------
+
+class TestInjectorValidation:
+    def _system(self, seed=0):
+        return ReplicatedSystem("active", replicas=3, clients=0, seed=seed)
+
+    def test_unknown_node_rejected_at_schedule_time(self):
+        system = self._system()
+        with pytest.raises(NetworkError):
+            system.injector.crash_at(10.0, "r9")
+        with pytest.raises(NetworkError):
+            system.injector.partition_at(10.0, ["r0"], ["r1", "typo"])
+        with pytest.raises(NetworkError):
+            system.injector.drop_at(10.0, "nope", 0.5)
+
+    def test_fault_values_validated_at_schedule_time(self):
+        system = self._system()
+        with pytest.raises(ValueError):
+            system.injector.fault_at(5.0, "r0", "explode", 1.0)
+        with pytest.raises(ValueError):
+            system.injector.drop_at(5.0, "r0", 1.0)      # must be < 1
+        with pytest.raises(ValueError):
+            system.injector.slow_at(5.0, "r0", 0.5)      # must be >= 1
+
+    def test_random_crashes_deterministic_per_seed(self):
+        schedules = []
+        for _ in range(2):
+            system = self._system(seed=13)
+            schedules.append(
+                system.injector.random_crashes(
+                    ["r0", "r1", "r2"], 2, (10.0, 100.0)
+                )
+            )
+        assert schedules[0] == schedules[1]
+        assert len(schedules[0]) == 2
+
+    def test_random_crashes_do_not_perturb_workload_rng(self):
+        plain = self._system(seed=13)
+        chaotic = self._system(seed=13)
+        chaotic.injector.random_crashes(["r0", "r1"], 1, (10.0, 50.0))
+        assert [plain.sim.rng.random() for _ in range(5)] == [
+            chaotic.sim.rng.random() for _ in range(5)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Resilient client: outcome taxonomy and exactly-once retries
+# ---------------------------------------------------------------------------
+
+class TestResilientClient:
+    def test_clean_run_commits_without_retries(self):
+        system = ReplicatedSystem("active", replicas=3, clients=0, seed=1)
+        edge = ResilientClient(system, index=0)
+        future = edge.submit(Operation.update("x", "add", 1))
+        result = system.sim.run_until_done(future)
+        assert result.committed and result.retries == 0
+        system.settle(300)
+        for name in system.replica_names:
+            assert system.store_of(name).read("x") == 1
+
+    def test_retryable_classification(self):
+        system = ReplicatedSystem("active", replicas=3, clients=0, seed=1)
+        edge = ResilientClient(system, index=0)
+        assert edge._retryable("not primary (primary is r1)")
+        assert edge._retryable("deadline exceeded at server")
+        assert not edge._retryable("lock timeout")
+        assert not edge._retryable("certification conflict on ['x']")
+
+    def test_deadline_budget_yields_indeterminate(self):
+        system = ReplicatedSystem("active", replicas=3, clients=0, seed=2)
+        edge = ResilientClient(
+            system, index=0, request_timeout=20.0, deadline=120.0
+        )
+        # Cut the client off from every replica before it sends.
+        system.injector.partition_at(
+            1.0, [edge.name], list(system.replica_names)
+        )
+
+        def go():
+            yield system.sim.timeout(5.0)
+            return (yield edge.submit(Operation.update("x", "add", 1)))
+
+        handle = system.sim.spawn(go())
+        result = system.sim.run_until_done(handle)
+        assert not result.committed
+        assert result.reason == "deadline exceeded"
+        # The budget is honoured: the edge gave up at its deadline.
+        assert result.completed_at - result.submitted_at == pytest.approx(
+            120.0, abs=1.0
+        )
+
+    def test_retries_reuse_the_same_request_id(self):
+        system = ReplicatedSystem("active", replicas=3, clients=0, seed=3)
+        edge = ResilientClient(system, index=0, request_timeout=15.0)
+        # 60% loss everywhere: attempts go silent, the edge must retry.
+        for replica in system.replica_names:
+            system.injector.drop_at(0.0, replica, 0.6, duration=80.0)
+        future = edge.submit(Operation.update("x", "add", 1))
+        result = system.sim.run_until_done(future)
+        assert result.committed
+        assert result.retries > 0, "the scenario must actually provoke retries"
+        system.settle(300)
+        stores = {n: system.store_of(n) for n in system.live_replicas()}
+        assert not counter_check([result], stores, strict=False)
+
+
+# ---------------------------------------------------------------------------
+# Campaign engine: composition, verdicts, determinism
+# ---------------------------------------------------------------------------
+
+class TestCampaignEngine:
+    def test_at_least_four_composed_campaigns_ship(self):
+        assert len(CAMPAIGNS) >= 4
+        for campaign in CAMPAIGNS.values():
+            assert campaign.actions, campaign.name
+            assert campaign.horizon() > 0.0
+
+    def test_schedule_validates_nodes_immediately(self):
+        system = ReplicatedSystem("active", replicas=3, clients=0, seed=0)
+        bogus = ChaosCampaign(
+            name="bogus", description="",
+            actions=(FaultAction("crash", at=10.0, node="r9"),),
+        )
+        with pytest.raises(NetworkError):
+            bogus.schedule(system.injector)
+
+    def test_strong_cell_passes_its_guarantee(self):
+        report = run_campaign(
+            "active", CAMPAIGNS["group_loss_under_load"], observe=False
+        )
+        assert report.passed, report.summary()
+        assert report.consistency == "strong"
+        assert report.indeterminate == 0 and not report.violations
+
+    def test_lazy_cell_converges_after_heal(self):
+        report = run_campaign(
+            "lazy_ue", CAMPAIGNS["partition_during_view_change"], observe=False
+        )
+        assert report.passed, report.summary()
+        assert report.consistency != "strong"
+        assert report.converged
+
+    def test_same_seed_same_report(self):
+        cells = [
+            run_campaign(
+                "eager_primary", CAMPAIGNS["primary_crash_mid_2pc"],
+                seed=0, observe=False,
+            )
+            for _ in range(2)
+        ]
+        assert dataclasses.asdict(cells[0]) == dataclasses.asdict(cells[1])

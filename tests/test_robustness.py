@@ -5,6 +5,7 @@ from helpers import GroupHarness
 from hypothesis import given, settings, strategies as st
 
 from repro import Operation, ReplicatedSystem
+from repro.analysis import counter_check
 from repro.groupcomm import Consensus
 from repro.net import ConstantLatency, Network, Node, UniformLatency
 from repro.sim import Simulator
@@ -89,6 +90,33 @@ class TestNetworkProperties:
 
     @given(seed=st.integers(0, 60))
     @settings(max_examples=30, deadline=None)
+    def test_fault_plane_conservation(self, seed):
+        """With drop/duplicate/jitter faults armed, the envelope ledger
+        still balances: every envelope that enters the fabric leaves it
+        exactly once, and fault duplicates are extra envelopes on the
+        right-hand side."""
+        sim = Simulator(seed=seed)
+        net = Network(sim, latency=ConstantLatency(1.0))
+        got = []
+        a = Node(sim, net, "a")
+        b = Node(sim, net, "b")
+        b.on("m", lambda msg: got.append(msg["i"]))
+        net.set_fault("b", "drop", 0.3)
+        net.set_fault("a", "duplicate", 0.4)
+        net.set_fault("b", "jitter", 3.0)
+        for i in range(20):
+            sim.schedule_at(float(i), lambda i=i: a.send("b", "m", i=i))
+        sim.run()
+        stats = net.stats
+        assert stats.delivered == len(got)
+        assert (
+            stats.delivered + stats.dropped_loss + stats.dropped_partition
+            + stats.dropped_crash + stats.dropped_fault
+            == stats.sent + stats.duplicated
+        )
+
+    @given(seed=st.integers(0, 60))
+    @settings(max_examples=30, deadline=None)
     def test_partition_heal_conservation(self, seed):
         """No message is duplicated; every message is delivered, dropped
         by partition, or lost to configured loss — the counters add up."""
@@ -110,6 +138,46 @@ class TestNetworkProperties:
             stats.delivered + stats.dropped_loss + stats.dropped_partition
             == stats.sent
         )
+
+
+class TestIdempotentFailover:
+    def test_same_key_retried_across_primary_failover_no_double_apply(self):
+        """Crash the primary mid-run: the resilient edge retries the SAME
+        idempotency key against the promoted primary.  The duplicate-reply
+        cache (replicated with the decision) must make the retry
+        exactly-once — the counter ends exact, never double-applied."""
+        from repro.resilience import ResilientClient
+
+        system = ReplicatedSystem(
+            "eager_primary", replicas=3, clients=0, seed=0,
+            fd_interval=2.0, fd_timeout=8.0,
+        )
+        edges = [
+            ResilientClient(system, index=i, request_timeout=30.0, deadline=400.0)
+            for i in range(2)
+        ]
+        system.injector.crash_at(32.0, "r0")
+        system.injector.recover_at(150.0, "r0")
+        results = []
+
+        def load(edge):
+            for _ in range(4):
+                results.append(
+                    (yield edge.submit(Operation.update("x", "add", 1)))
+                )
+                yield system.sim.timeout(12.0)
+
+        handles = [system.sim.spawn(load(edge)) for edge in edges]
+        system.sim.run_until_done(system.sim.all_of(handles))
+        system.settle(600)
+        committed = [r for r in results if r.committed]
+        assert len(committed) == 8, [r.reason for r in results]
+        assert any(r.retries > 0 for r in results), (
+            "the failover must actually force a same-key retry"
+        )
+        stores = {n: system.store_of(n) for n in system.live_replicas()}
+        assert not counter_check(committed, stores, strict=False)
+        assert system.converged(), system.divergent_replicas()
 
 
 class TestDSMultiOperationRequests:

@@ -16,7 +16,7 @@ class Site:
         self.decisions = []
         self.participant = TwoPhaseParticipant(
             self.node,
-            on_prepare=lambda txn: self.vote,
+            on_prepare=lambda txn, coordinator: self.vote,
             on_decision=lambda txn, commit: self.decisions.append((txn, commit)),
         )
 
