@@ -8,9 +8,11 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check lint typecheck test baseline catalog catalog-check \
-	waitgraph waitgraph-check observe bench-json chaos
+	waitgraph waitgraph-check interference interference-check \
+	observe bench-json chaos
 
-check: lint typecheck catalog-check waitgraph-check test chaos
+check: lint typecheck catalog-check waitgraph-check interference-check \
+	test chaos
 
 lint:
 	$(PYTHON) -m repro.lint src/repro
@@ -66,6 +68,15 @@ waitgraph:
 
 waitgraph-check:
 	$(PYTHON) -m repro.lint src/repro --check-waitgraph docs/waitgraph.md
+
+# Regenerate the interference catalog (docs/interference.md + .json) —
+# per-handler replica-state read/write sets and atomicity windows from
+# the R6xx analysis; `interference-check` fails when stale.
+interference:
+	$(PYTHON) -m repro.lint src/repro --write-interference docs/interference.md
+
+interference-check:
+	$(PYTHON) -m repro.lint src/repro --check-interference docs/interference.md
 
 # Grandfather the current findings (use sparingly; the tree ships clean).
 baseline:

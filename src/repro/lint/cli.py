@@ -11,7 +11,7 @@ import os
 import sys
 from typing import List, Optional
 
-from .config import DEFAULT_BASELINE
+from .config import DEFAULT_BASELINE, FAMILY_PREFIXES
 from .diagnostics import Baseline, render_json, render_sarif, render_text
 from .engine import collect_files, parse_file, run_lint
 from .registry import all_rules
@@ -77,6 +77,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--check-waitgraph", metavar="FILE",
         help="verify the generated wait graph at FILE (JSON sibling and "
              "DOT directory included) is up to date; exit 1 when stale",
+    )
+    parser.add_argument(
+        "--write-interference", metavar="FILE",
+        help="generate the interference catalog (markdown at FILE, JSON "
+             "next to it) from the R6xx read/write-set analysis and exit",
+    )
+    parser.add_argument(
+        "--check-interference", metavar="FILE",
+        help="verify the generated interference catalog at FILE (and its "
+             "JSON sibling) is up to date with the code; exit 1 when stale",
+    )
+    parser.add_argument(
+        "--only-family", action="append", default=None, metavar="FAMILY",
+        help="only run these rule families (repeatable, comma-separated "
+             f"ok; one of {', '.join(sorted(FAMILY_PREFIXES))})",
     )
     return parser
 
@@ -204,6 +219,59 @@ def _waitgraph_mode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _interference_mode(args: argparse.Namespace) -> int:
+    """Generate or verify the interference catalog (markdown + JSON)."""
+    from .interference import (
+        build_interference_artifact,
+        render_interference_json,
+        render_interference_markdown,
+    )
+
+    contexts = []
+    for path in collect_files(args.paths):
+        context, error = parse_file(path)
+        if error is not None:
+            print(error.render(), file=sys.stderr)
+            return 2
+        contexts.append(context)
+    artifact = build_interference_artifact(contexts)
+    markdown = render_interference_markdown(artifact)
+    payload = render_interference_json(artifact)
+
+    if args.write_interference:
+        json_path = _json_sibling(args.write_interference)
+        with open(args.write_interference, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.write_interference} and {json_path} "
+              f"({artifact['summary']['handlers']} handlers, "
+              f"{artifact['summary']['windows']} windows)")
+        return 0
+
+    target = args.check_interference
+    json_path = _json_sibling(target)
+    stale = []
+    for path, expected in ((target, markdown), (json_path, payload)):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                current = handle.read()
+        except FileNotFoundError:
+            stale.append(f"{path}: missing")
+            continue
+        if current != expected:
+            stale.append(f"{path}: out of date")
+    if stale:
+        for entry in stale:
+            print(entry, file=sys.stderr)
+        print(f"regenerate with: python -m repro.lint "
+              f"{' '.join(args.paths)} --write-interference {target}",
+              file=sys.stderr)
+        return 1
+    print(f"interference catalog up to date: {target}, {json_path}")
+    return 0
+
+
 def _split_rules(values: Optional[List[str]]) -> Optional[List[str]]:
     if values is None:
         return None
@@ -237,9 +305,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(str(exc), file=sys.stderr)
             return 2
 
+    if args.write_interference or args.check_interference:
+        try:
+            return _interference_mode(args)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
     try:
         select = _split_rules(args.select)
         ignore = _split_rules(args.ignore)
+        families = _split_rules(args.only_family)
+        if families is not None:
+            prefixes = []
+            for family in families:
+                prefix = FAMILY_PREFIXES.get(family.upper())
+                if prefix is None:
+                    print(f"unknown rule family: {family} (expected one "
+                          f"of {', '.join(sorted(FAMILY_PREFIXES))})",
+                          file=sys.stderr)
+                    return 2
+                prefixes.append(prefix)
+            # A family is a select-prefix; explicit --select narrows
+            # further within the chosen families.
+            select = [
+                s for s in select
+                if any(s.startswith(p) or p.startswith(s) for p in prefixes)
+            ] if select else prefixes
         if args.write_baseline:
             findings = run_lint(args.paths, select, ignore, baseline=None)
             Baseline.from_diagnostics(findings).save(args.baseline)

@@ -226,6 +226,45 @@ MAX_WAIT_PATHS = 32
 MAX_WAIT_DEPTH = 12
 
 # ---------------------------------------------------------------------------
+# Interference (rules R601-R604)
+# ---------------------------------------------------------------------------
+# Replica-state accesses are dotted ``self.…`` attribute chains truncated
+# to this many segments (``self.replica.node.name`` records as
+# ``replica.node``): deeper chains describe a neighbour object's internals,
+# not this instance's interleaving surface.
+ACCESS_DEPTH = 2
+
+# Container methods whose call mutates the receiver in place.  A call of
+# one of these on a ``self.…`` chain counts as a write to that attribute
+# in the read/write-set catalog (but not as a *rebinding* write, which is
+# what the R603 lost-update check keys on).
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend", "insert",
+    "pop", "popitem", "popleft", "remove", "setdefault", "update",
+})
+
+# Attribute-name fragments that mark a *guard predicate*: replica-role /
+# configuration state whose validity a blocking wait can invalidate
+# (deposed primary, changed view, advanced epoch).  An ``if`` test
+# reading a ``self.…`` chain whose final segment contains one of these
+# is a guard check for R602.
+GUARD_ATTR_MARKERS = ("primary", "view", "epoch", "leader")
+
+# Irreversible actions for R602: once one of these runs on a stale
+# guard, the damage is externally visible.  ``respond``/``reply`` answer
+# the client or a peer; ``commit`` publishes transaction effects.  The
+# 2PC voting round (a TWO_PC wait site) is both an effect — starting an
+# agreement round asserts the guard — and a fence: its participant-side
+# PREPARE fencing revalidates, so windows do not extend across it.
+EFFECT_METHODS = frozenset({"respond", "reply", "commit"})
+
+# Dict-style methods whose call mutates a received message/payload in
+# place (R604: handlers share payload dicts with the network layer and
+# other recipients under copy-on-write broadcast, so in-place mutation
+# aliases back into them).
+MESSAGE_MUTATORS = frozenset({"clear", "pop", "popitem", "setdefault", "update"})
+
+# ---------------------------------------------------------------------------
 # Rule metadata (SARIF helpUri)
 # ---------------------------------------------------------------------------
 # Per-family anchors into docs/linting.md; every registered rule derives
@@ -237,8 +276,15 @@ FAMILY_HELP_URIS = {
     "P": "docs/linting.md#protocol-contract-p3xx",
     "M": "docs/linting.md#message-flow-m4xx",
     "W": "docs/linting.md#wait-graph-w5xx",
+    "R": "docs/linting.md#interference-r6xx",
 }
 DEFAULT_HELP_URI = "docs/linting.md"
+
+# Lint-family codes accepted by the CLI ``--only-family`` filter, mapped
+# to the rule-id prefixes they select.
+FAMILY_PREFIXES = {
+    "D1": "D1", "L2": "L2", "P3": "P3", "M4": "M4", "W5": "W5", "R6": "R6",
+}
 
 # ---------------------------------------------------------------------------
 # Suppression

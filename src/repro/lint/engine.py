@@ -139,6 +139,13 @@ def run_lint(
             contexts.append(context)
 
     lines_by_path = {ctx.path: ctx.lines for ctx in contexts}
+    if any(enabled.scope == "project" for enabled in rules):
+        # One ProgramIndex serves every whole-program pass (M4xx, W5xx,
+        # R6xx): build it here, before rule dispatch, so the passes share
+        # it by construction instead of each racing to build its own.
+        from .symeval import program_index
+
+        program_index(contexts)
     for enabled in rules:
         if enabled.scope == "file":
             for context in contexts:
@@ -176,3 +183,4 @@ from . import determinism as _determinism  # noqa: E402,F401
 from . import layering as _layering  # noqa: E402,F401
 from . import msgflow as _msgflow  # noqa: E402,F401
 from . import waitgraph as _waitgraph  # noqa: E402,F401
+from . import interference as _interference  # noqa: E402,F401

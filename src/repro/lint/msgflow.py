@@ -66,6 +66,7 @@ from .symeval import (
     evaluate,
     pattern_matches,
     patterns_unify,
+    program_index,
     render_pattern,
 )
 
@@ -544,7 +545,7 @@ def build_graph(contexts: Sequence) -> MessageGraph:
     """
     if _CACHE and _CACHE[0][0] is contexts:
         return _CACHE[0][1]
-    index = ProgramIndex(contexts)
+    index = program_index(contexts)
     graph = MessageGraph(index=index)
     for ctx in contexts:
         _Extractor(ctx, index, graph).run()

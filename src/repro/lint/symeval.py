@@ -48,6 +48,7 @@ __all__ = [
     "evaluate",
     "pattern_matches",
     "patterns_unify",
+    "program_index",
     "unify",
     "render_pattern",
 ]
@@ -365,6 +366,23 @@ class ProgramIndex:
             if keyword.arg is None:  # **kwargs splat: anything may arrive
                 return _TOP
         return frozenset()
+
+
+# One ProgramIndex per lint invocation, shared by every whole-program
+# pass (M4xx message flow, W5xx wait graph, R6xx interference).  The
+# single-slot identity cache matches the pass-level caches: the engine
+# hands every project rule the same context list, so the second and
+# later passes reuse the index the first one built.
+_INDEX_CACHE: List[Tuple[object, ProgramIndex]] = []
+
+
+def program_index(contexts: Sequence) -> ProgramIndex:
+    """Build (or reuse) the shared program index for ``contexts``."""
+    if _INDEX_CACHE and _INDEX_CACHE[0][0] is contexts:
+        return _INDEX_CACHE[0][1]
+    index = ProgramIndex(contexts)
+    _INDEX_CACHE[:] = [(contexts, index)]
+    return index
 
 
 def _find_default(init: ast.FunctionDef, param: str) -> Optional[ast.expr]:

@@ -63,13 +63,17 @@ from typing import (
 )
 
 from .config import (
+    ACCESS_DEPTH,
     COORDINATOR_CLASSES,
     COORDINATOR_RUN_METHOD,
+    EFFECT_METHODS,
+    GUARD_ATTR_MARKERS,
     JOIN_METHODS,
     LOCK_ACQUIRE_METHOD,
     LOCK_RECEIVER_NAMES,
     MAX_WAIT_DEPTH,
     MAX_WAIT_PATHS,
+    MUTATOR_METHODS,
     NETWORK_RECEIVER_NAMES,
     PROTOCOL_BASE,
     PROTOCOL_INFO_NAME,
@@ -124,7 +128,12 @@ class WaitSite:
     func_key: str               # owning function's stable key
 
 
-# An event is ("wait", WaitSite) or ("callee", func_key).
+# An event is ("wait", WaitSite), ("callee", func_key),
+# ("read", (attr, node)), ("write", (attr, node, via)),
+# ("guard", (attr, node)) or ("effect", (label, node)).  The last four
+# carry replica-state accesses, guard checks and externally-visible
+# effects for the R6xx interference pass (see interference.py); the
+# wait-graph rules below only consume "wait" and "callee".
 Event = Tuple[str, Any]
 
 
@@ -247,6 +256,38 @@ def _attr_classes(
     return out
 
 
+def _self_chain(node: ast.AST) -> Optional[List[str]]:
+    """The dotted attribute chain of a ``self.a.b...`` expression, or
+    ``None`` when the expression is not rooted at ``self``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name) and current.id == "self" and parts:
+        parts.reverse()
+        return parts
+    return None
+
+
+def _chain_str(parts: List[str]) -> str:
+    """Canonical access name: the chain truncated to ACCESS_DEPTH."""
+    return ".".join(parts[:ACCESS_DEPTH])
+
+
+def _guard_events(test: ast.AST) -> List[Event]:
+    """``("guard", (attr, node))`` for every self-rooted access in a
+    branch condition whose final attribute looks like a view/epoch/
+    primary predicate (``self.is_primary``, ``self.view`` ...)."""
+    out: List[Event] = []
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute):
+            chain = _self_chain(node)
+            if chain and any(m in chain[-1] for m in GUARD_ATTR_MARKERS):
+                out.append(("guard", (_chain_str(chain), node)))
+    return out
+
+
 class _WaitExtractor:
     """Second pass over one file: fill every FuncInfo's waits/events."""
 
@@ -289,20 +330,44 @@ class _WaitExtractor:
         capped at MAX_WAIT_PATHS; overflow collapses to one linearised
         path (a widening: extra order pairs can only be introduced by
         real code on both sides of the inversion, see docs)."""
+        done: List[List[Event]] = []
         paths: List[List[Event]] = [[]]
         for stmt in stmts:
+            if not paths:
+                break  # every path already returned/raised
             if isinstance(stmt, ast.If):
-                test = self._events_in(stmt.test, info, scope, nested)
+                test = _guard_events(stmt.test) + self._events_in(
+                    stmt.test, info, scope, nested
+                )
                 arms = (
                     self._stmt_sequences(stmt.body, info, scope, nested)
                     + self._stmt_sequences(stmt.orelse, info, scope, nested)
                 )
                 forks = [test + arm for arm in arms]
+            elif isinstance(stmt, (ast.Return, ast.Raise,
+                                   ast.Break, ast.Continue)):
+                # Control leaves this statement list: later statements
+                # are unreachable on this path.  The trailing "stop"
+                # sentinel stays on the path so every enclosing
+                # _stmt_sequences level also stops extending it; rules
+                # and expansion skip the sentinel kind.
+                forks = [
+                    self._events_in(stmt, info, scope, nested)
+                    + [("stop", None)]
+                ]
             else:
                 forks = [self._events_in(stmt, info, scope, nested)]
-            paths = [p + fork for p in paths for fork in forks]
-            if len(paths) > MAX_WAIT_PATHS:
-                flat = [e for p in paths for e in p]
+            next_paths: List[List[Event]] = []
+            for p in paths:
+                for fork in forks:
+                    combined = p + fork
+                    if combined and combined[-1][0] == "stop":
+                        done.append(combined)
+                    else:
+                        next_paths.append(combined)
+            paths = next_paths
+            if len(done) + len(paths) > MAX_WAIT_PATHS:
+                flat = [e for p in done + paths for e in p]
                 merged: List[Event] = []
                 seen: Set[Tuple[str, int]] = set()
                 for event in flat:
@@ -310,8 +375,8 @@ class _WaitExtractor:
                     if marker not in seen:
                         seen.add(marker)
                         merged.append(event)
-                paths = [merged]
-        return paths
+                done, paths = [], [merged]
+        return done + paths
 
     def _events_in(self, node: ast.AST, info: FuncInfo, scope: Scope,
                    nested: Dict[str, str]) -> List[Event]:
@@ -319,11 +384,72 @@ class _WaitExtractor:
         out: List[Event] = []
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
             return out
+        if isinstance(node, (ast.If, ast.While)):
+            # Branch conditions below statement level linearise through
+            # here; the top-level ``if`` fork in _stmt_sequences prepends
+            # its own guard events.
+            out.extend(_guard_events(node.test))
+        elif isinstance(node, ast.Attribute):
+            chain = _self_chain(node)
+            if chain is not None:
+                name = _chain_str(chain)
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    via = "=" if isinstance(node.ctx, ast.Store) else "del"
+                    out.append(("write", (name, node, via)))
+                elif not (len(chain) == 1
+                          and self._is_plain_method(info, chain[0])):
+                    out.append(("read", (name, node)))
+        elif isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, (ast.Store, ast.Del)):
+            chain = _self_chain(node.value)
+            if chain is not None:
+                out.append(("write", (_chain_str(chain), node, "[]")))
+        elif isinstance(node, ast.AugAssign) \
+                and isinstance(node.target, ast.Attribute):
+            chain = _self_chain(node.target)
+            if chain is not None:
+                # ``self.x += 1`` reads then rebinds x within a single
+                # statement: no suspension point fits between, so the
+                # write is tagged "aug" — R603 ignores it (it cannot
+                # lose an update under cooperative scheduling) while the
+                # runtime write sets keep it (it calls __setattr__).
+                name = _chain_str(chain)
+                out.append(("read", (name, node)))
+                out.append(("write", (name, node, "aug")))
+                out.extend(self._events_in(node.value, info, scope, nested))
+                return out
         if isinstance(node, ast.Call):
             out.extend(self._classify(node, info, scope, nested))
+            # The method attribute of a call is an invocation, not a
+            # state read: recurse into the receiver, skip the attribute.
+            for child in ast.iter_child_nodes(node):
+                if child is node.func and isinstance(child, ast.Attribute):
+                    out.extend(
+                        self._events_in(child.value, info, scope, nested)
+                    )
+                else:
+                    out.extend(self._events_in(child, info, scope, nested))
+            return out
         for child in ast.iter_child_nodes(node):
             out.extend(self._events_in(child, info, scope, nested))
         return out
+
+    def _is_plain_method(self, info: FuncInfo, attr: str) -> bool:
+        """True when ``self.attr`` names an undecorated method (a bound-
+        method access, not replica state); property reads stay reads."""
+        index = self.graph.index
+        if info.cls is None or index is None:
+            return False
+        for owner in index.mro(info.cls):
+            method = owner.methods.get(attr)
+            if method is not None:
+                for dec in method.decorator_list:
+                    name = _simple_name(dec)
+                    if name in ("property", "cached_property",
+                                "setter", "getter", "deleter"):
+                        return False
+                return True
+        return False
 
     # -- call classification --------------------------------------------
 
@@ -382,6 +508,15 @@ class _WaitExtractor:
                     break
         if site is not None:
             events.append(("wait", site))
+
+        if attr in EFFECT_METHODS:
+            # Externally visible effect: a reply leaves this replica, a
+            # commit publishes writes.  R602 reports stale guards here.
+            events.append(("effect", (attr, call)))
+        if attr in MUTATOR_METHODS:
+            chain = _self_chain(func.value)
+            if chain is not None:
+                events.append(("write", (_chain_str(chain), call, attr)))
 
         # Callee edges: self.m(...), self.attr.m(...) through resolved
         # attribute classes (this also links coordinator.run into the
@@ -542,6 +677,8 @@ def _expand_paths(graph: WaitGraph, key: str,
         for kind, payload in template:
             if kind == "wait":
                 paths = [p + [payload] for p in paths]
+                continue
+            if kind != "callee":
                 continue
             sub = _expand_paths(graph, payload, depth + 1)
             if len(paths) * len(sub) > MAX_WAIT_PATHS:

@@ -14,12 +14,15 @@ they hold an optional duck-typed :class:`Observer` injected by
 ``docs/observability.md``.
 """
 
+from .attrtrack import track_attr_writes, untrack_attr_writes
 from .export import chrome_trace, spans_jsonl, write_artifacts
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .observer import Observer, abort_reason_label
 from .spans import INSTANT, SPAN, Span, SpanTracer
 
 __all__ = [
+    "track_attr_writes",
+    "untrack_attr_writes",
     "chrome_trace",
     "spans_jsonl",
     "write_artifacts",

@@ -1,0 +1,83 @@
+"""Opt-in per-instance attribute-write tracking.
+
+The static interference analysis (``repro.lint`` R6xx) derives, per
+protocol class, the set of instance attributes its methods may write
+(the ``classes`` map of ``docs/interference.json``).  This module is the
+dynamic side of that contract: wrap a live protocol instance with
+:func:`track_attr_writes` and every ``self.<attr> = ...`` (including
+augmented assignment, which also goes through ``__setattr__``) is
+reported to :meth:`Observer.on_attr_write` under the instance's class
+name.  The interference tests then assert *observed ⊆ static* across
+chaos campaigns — a runtime write the analysis failed to predict fails
+the suite.
+
+The mechanism is a per-base-class cached subclass that overrides
+``__setattr__`` and is swapped in via ``instance.__class__``.  Nothing
+is patched globally, untracked instances pay zero cost, and
+:func:`untrack_attr_writes` restores the original class.  Tracking
+bookkeeping lives in the instance dict under ``_attrtrack_*`` names,
+which are installed with ``object.__setattr__`` and excluded from
+recording so the wrapper never observes itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["track_attr_writes", "untrack_attr_writes"]
+
+_OBSERVER_SLOT = "_attrtrack_observer"
+_LABEL_SLOT = "_attrtrack_label"
+
+# base class -> tracking subclass (one per base; instances share it)
+_TRACKED: Dict[type, type] = {}
+
+
+def _tracking_class(base: type) -> type:
+    cached = _TRACKED.get(base)
+    if cached is not None:
+        return cached
+
+    def __setattr__(self: Any, name: str, value: Any) -> None:
+        instance_dict = object.__getattribute__(self, "__dict__")
+        observer = instance_dict.get(_OBSERVER_SLOT)
+        if observer is not None and not name.startswith("_attrtrack"):
+            observer.on_attr_write(
+                instance_dict.get(_LABEL_SLOT, base.__name__), name
+            )
+        base.__setattr__(self, name, value)
+
+    cls = type(
+        f"_Tracked{base.__name__}",
+        (base,),
+        {"__setattr__": __setattr__, "_attrtrack_base": base},
+    )
+    _TRACKED[base] = cls
+    return cls
+
+
+def track_attr_writes(obj: Any, observer: Any, label: str = "") -> Any:
+    """Report every attribute write on ``obj`` to ``observer``.
+
+    ``label`` defaults to the object's class name — the key the R6xx
+    ``classes`` map uses.  Idempotent: re-tracking an already tracked
+    instance just updates its observer and label.  Returns ``obj``.
+    """
+    base = type(obj)
+    base = getattr(base, "_attrtrack_base", base)
+    object.__setattr__(obj, _OBSERVER_SLOT, observer)
+    object.__setattr__(obj, _LABEL_SLOT, label or base.__name__)
+    object.__setattr__(obj, "__class__", _tracking_class(base))
+    return obj
+
+
+def untrack_attr_writes(obj: Any) -> Any:
+    """Restore ``obj``'s original class and drop tracking state."""
+    base = getattr(type(obj), "_attrtrack_base", None)
+    if base is None:
+        return obj  # was never tracked
+    object.__setattr__(obj, "__class__", base)
+    instance_dict = object.__getattribute__(obj, "__dict__")
+    instance_dict.pop(_OBSERVER_SLOT, None)
+    instance_dict.pop(_LABEL_SLOT, None)
+    return obj

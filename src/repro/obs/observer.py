@@ -74,6 +74,7 @@ class Observer:
         self._open_requests: Dict[str, Span] = {}
         self._open_phases: Dict[Tuple[str, object], Span] = {}
         self.lock_sequence: List[Tuple[str, str, str, str]] = []
+        self.attr_writes: Dict[str, set] = {}
         self._finalized = False
 
     # -- client request lifecycle (called from repro.core) -----------------
@@ -209,6 +210,20 @@ class Observer:
 
     def on_deadlock(self) -> None:
         self.metrics.inc("lock.deadlocks")
+
+    # -- attribute writes (opt-in, via repro.obs.attrtrack) ------------------
+
+    def on_attr_write(self, label: str, attr: str) -> None:
+        """Record that a tracked instance wrote one of its attributes.
+
+        Only fires for instances explicitly wrapped with
+        :func:`~repro.obs.attrtrack.track_attr_writes` — nothing on the
+        normal hot path calls this.  The accumulated per-class sets are
+        what the interference tests compare against the static R6xx
+        write sets (``docs/interference.json`` ``classes`` map): every
+        observed write must be a subset of what the analysis predicted.
+        """
+        self.attr_writes.setdefault(label, set()).add(attr)
 
     # -- transactions (called from repro.db.transactions, duck-typed) --------
 

@@ -1022,6 +1022,270 @@ def test_w504_timed_call_under_lock_clean(tmp_path):
     assert run_lint(paths, baseline=None) == []
 
 
+# ---------------------------------------------------------------------------
+# Interference family
+# ---------------------------------------------------------------------------
+
+# The technique-entry machinery resolves protocol classes through the
+# MRO, so interference fixtures ship a stub base module the prelude
+# imports resolve to (the real one is not part of the fixture tree).
+INTERFERENCE_BASE = (
+    "class ProtocolInfo:\n"
+    "    def __init__(self, **kwargs):\n"
+    "        self.kwargs = kwargs\n"
+    "class ReplicaProtocol:\n"
+    "    pass\n"
+)
+
+
+def interference_tree(tmp_path, fixture_source):
+    return tree(tmp_path, {
+        "src/repro/core/protocols/base.py": INTERFERENCE_BASE,
+        "src/repro/core/protocols/fixture.py":
+            PROTOCOL_PRELUDE + fixture_source,
+    })
+
+
+def test_r601_stale_snapshot_across_wait_fires(tmp_path):
+    # `cached` captures self.epoch_state before the call and is used
+    # after resumption while _on_bump (dispatchable meanwhile) writes it.
+    paths = interference_tree(
+        tmp_path,
+        protocol_class("StaleProto", ["RE", "EX", "END"], (
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('sp.bump', self._on_bump)\n"
+            "    def handle_request(self, request, client):\n"
+            "        self.phase(request.request_id, EX)\n"
+            "        self.node.spawn(self._serve(request, client))\n"
+            "    def _serve(self, request, client):\n"
+            "        cached = self.epoch_state\n"
+            "        yield self.node.call('peer', 'sp.bump', value=1,\n"
+            "                             timeout=5.0)\n"
+            "        self.respond(client, request, committed=True,\n"
+            "                     values=[cached])\n"
+            "    def _on_bump(self, message):\n"
+            "        self.epoch_state = message['value']\n"
+            "        self.node.reply(message, ok=True)\n"
+        )),
+    )
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["R601"]
+    assert "self.epoch_state" in found[0].message
+    assert "re-read" in found[0].message
+
+
+def test_r601_post_wait_reread_clean(tmp_path):
+    # Same shape, but the attribute is read *after* the wait: no
+    # snapshot crosses a suspension, so nothing can go stale.
+    paths = interference_tree(
+        tmp_path,
+        protocol_class("FreshProto", ["RE", "EX", "END"], (
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('fp.bump', self._on_bump)\n"
+            "    def handle_request(self, request, client):\n"
+            "        self.phase(request.request_id, EX)\n"
+            "        self.node.spawn(self._serve(request, client))\n"
+            "    def _serve(self, request, client):\n"
+            "        yield self.node.call('peer', 'fp.bump', value=1,\n"
+            "                             timeout=5.0)\n"
+            "        cached = self.epoch_state\n"
+            "        self.respond(client, request, committed=True,\n"
+            "                     values=[cached])\n"
+            "    def _on_bump(self, message):\n"
+            "        self.epoch_state = message['value']\n"
+            "        self.node.reply(message, ok=True)\n"
+        )),
+    )
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_r602_unrevalidated_guard_fires(tmp_path):
+    # is_primary is checked, the handler suspends on a call, and the
+    # client-visible respond happens without re-checking the role.
+    paths = interference_tree(
+        tmp_path,
+        protocol_class("GuardProto", ["RE", "EX", "END"], (
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('gp.ack', self._on_ack)\n"
+            "    def handle_request(self, request, client):\n"
+            "        self.phase(request.request_id, EX)\n"
+            "        self.node.spawn(self._serve(request, client))\n"
+            "    def _serve(self, request, client):\n"
+            "        if not self.is_primary:\n"
+            "            return\n"
+            "        yield self.node.call('peer', 'gp.ack', timeout=5.0)\n"
+            "        self.respond(client, request, committed=True)\n"
+            "    def _on_ack(self, message):\n"
+            "        self.node.reply(message, ok=True)\n"
+        )),
+    )
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["R602"]
+    assert "self.is_primary" in found[0].message
+    assert "re-check" in found[0].message
+
+
+def test_r602_fenced_guard_clean(tmp_path):
+    # The positive fencing shape: the guard is re-validated after the
+    # wait, before the externally-visible respond.
+    paths = interference_tree(
+        tmp_path,
+        protocol_class("FencedProto", ["RE", "EX", "END"], (
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('fn.ack', self._on_ack)\n"
+            "    def handle_request(self, request, client):\n"
+            "        self.phase(request.request_id, EX)\n"
+            "        self.node.spawn(self._serve(request, client))\n"
+            "    def _serve(self, request, client):\n"
+            "        if not self.is_primary:\n"
+            "            return\n"
+            "        yield self.node.call('peer', 'fn.ack', timeout=5.0)\n"
+            "        if not self.is_primary:\n"
+            "            return\n"
+            "        self.respond(client, request, committed=True)\n"
+            "    def _on_ack(self, message):\n"
+            "        self.node.reply(message, ok=True)\n"
+        )),
+    )
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_r603_conflicting_rebinds_fire(tmp_path):
+    # Two dispatchable entries rebind self.cursor, one after a blocking
+    # wait, with no common lock: a lost-update window.
+    paths = interference_tree(
+        tmp_path,
+        protocol_class("RaceProto", ["RE", "EX", "END"], (
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('rp.sync', self._on_sync)\n"
+            "        node.on('rp.ping', self._on_ping)\n"
+            "    def handle_request(self, request, client):\n"
+            "        self.phase(request.request_id, EX)\n"
+            "        self.node.spawn(self._serve(request, client))\n"
+            "    def _serve(self, request, client):\n"
+            "        yield self.node.call('peer', 'rp.ping', timeout=5.0)\n"
+            "        self.cursor = request.request_id\n"
+            "        self.respond(client, request, committed=True)\n"
+            "    def gossip(self):\n"
+            "        yield self.node.call('peer', 'rp.sync', cursor=1,\n"
+            "                             timeout=5.0)\n"
+            "    def _on_sync(self, message):\n"
+            "        self.cursor = message['cursor']\n"
+            "        self.node.reply(message, ok=True)\n"
+            "    def _on_ping(self, message):\n"
+            "        self.node.reply(message, ok=True)\n"
+        )),
+    )
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["R603"]
+    assert "'cursor'" in found[0].message
+    assert "no common lock" in found[0].message
+
+
+def test_r603_common_lock_and_counters_clean(tmp_path):
+    # Both writers acquire the same concrete lock item before rebinding
+    # (and augmented counters are atomic under cooperative scheduling).
+    paths = interference_tree(
+        tmp_path,
+        protocol_class("LockedProto", ["RE", "EX", "END"], (
+            "    def __init__(self, node, locks):\n"
+            "        self.node = node\n"
+            "        self.locks = locks\n"
+            "        node.on('lk.sync', self._on_sync)\n"
+            "    def handle_request(self, request, client):\n"
+            "        self.phase(request.request_id, EX)\n"
+            "        self.node.spawn(self._serve(request, client))\n"
+            "    def _serve(self, request, client):\n"
+            "        yield self.locks.acquire(request, 'cursor', 'w',\n"
+            "                                 timeout=5.0)\n"
+            "        self.cursor = request.request_id\n"
+            "        self.hits += 1\n"
+            "        self.respond(client, request, committed=True)\n"
+            "    def gossip(self):\n"
+            "        yield self.node.call('peer', 'lk.sync', cursor=1,\n"
+            "                             timeout=5.0)\n"
+            "    def _on_sync(self, message):\n"
+            "        self.node.spawn(self._sync(message))\n"
+            "    def _sync(self, message):\n"
+            "        yield self.locks.acquire(message, 'cursor', 'w',\n"
+            "                                 timeout=5.0)\n"
+            "        self.cursor = message['cursor']\n"
+            "        self.hits += 1\n"
+            "        self.node.reply(message, ok=True)\n"
+        )),
+    )
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_r604_payload_mutation_fires(tmp_path):
+    paths = tree(tmp_path, {
+        "src/repro/core/flow.py":
+            "class Widget:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('wd.req', self._on_req)\n"
+            "    def kick(self):\n"
+            "        yield self.node.call('peer', 'wd.req', item=1,\n"
+            "                             timeout=5.0)\n"
+            "    def _on_req(self, message):\n"
+            "        message['seen'] = True\n"
+            "        self.node.reply(message, ok=True)\n",
+    })
+    found = run_lint(paths, baseline=None)
+    assert rules_of(found) == ["R604"]
+    assert "item assignment" in found[0].message
+    assert "copy before" in found[0].message
+
+
+def test_r604_copy_first_clean(tmp_path):
+    # Rebinding the parameter to a copy first makes later mutations
+    # local: the received payload itself is never touched.
+    paths = tree(tmp_path, {
+        "src/repro/core/flow.py":
+            "class Widget:\n"
+            "    def __init__(self, node):\n"
+            "        self.node = node\n"
+            "        node.on('wd.req', self._on_req)\n"
+            "    def kick(self):\n"
+            "        yield self.node.call('peer', 'wd.req', item=1,\n"
+            "                             timeout=5.0)\n"
+            "    def _on_req(self, message):\n"
+            "        original = message\n"
+            "        message = dict(original)\n"
+            "        message['seen'] = True\n"
+            "        self.node.reply(original, ok=True)\n",
+    })
+    assert run_lint(paths, baseline=None) == []
+
+
+def test_cli_only_family_filters_rules(tmp_path, capsys):
+    paths = tree(tmp_path, {
+        "src/repro/core/clock.py":
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n",
+    })
+    # The D1xx wall-clock finding is invisible through the M4 family...
+    assert lint_main(paths + ["--only-family", "M4", "--no-baseline"]) == 0
+    capsys.readouterr()
+    # ...reported through its own family...
+    assert lint_main(paths + ["--only-family", "D1", "--no-baseline"]) == 1
+    assert "time.time" in capsys.readouterr().out
+    # ...and --select narrows further *within* the chosen families.
+    assert lint_main(
+        paths + ["--only-family", "D1", "--select", "D101", "--no-baseline"]
+    ) == 0
+    capsys.readouterr()
+    # Unknown family names are usage errors, not silence.
+    assert lint_main(paths + ["--only-family", "X9"]) == 2
+    assert "unknown rule family" in capsys.readouterr().err
+
+
 def test_sarif_rules_table_documents_whole_registry(capsys):
     # Satellite of the W5xx PR: the SARIF driver table must document
     # every registered rule with real metadata, not placeholders, so CI
@@ -1034,12 +1298,15 @@ def test_sarif_rules_table_documents_whole_registry(capsys):
     declared = {entry["id"] for entry in entries}
     assert {r.id for r in all_rules()} == declared
     assert {"W501", "W502", "W503", "W504"} <= declared
+    assert {"R601", "R602", "R603", "R604"} <= declared
     for entry in entries:
         assert entry["helpUri"].startswith("docs/linting.md"), entry["id"]
         assert entry["shortDescription"]["text"], entry["id"]
         assert entry["fullDescription"]["text"], entry["id"]
         if entry["id"].startswith("W"):
             assert entry["helpUri"].endswith("#wait-graph-w5xx"), entry["id"]
+        if entry["id"].startswith("R"):
+            assert entry["helpUri"].endswith("#interference-r6xx"), entry["id"]
 
 
 def test_rule_catalogue_has_docs():
