@@ -9,10 +9,10 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check lint typecheck test baseline catalog catalog-check \
 	waitgraph waitgraph-check interference interference-check \
-	observe bench-json chaos
+	observe bench-json chaos profile phasecost phasecost-check
 
 check: lint typecheck catalog-check waitgraph-check interference-check \
-	test chaos
+	phasecost-check test chaos
 
 lint:
 	$(PYTHON) -m repro.lint src/repro
@@ -43,6 +43,25 @@ TECH ?= active
 SEED ?= 1
 observe:
 	$(PYTHON) -m repro observe $(TECH) --seed $(SEED)
+
+# Phase-resolved latency profiles (critical path + five-phase cost
+# attribution + windowed time series) for every technique: writes
+# profile_<tech>_seed<seed>.json and a Perfetto counter track per
+# technique to PROFILE_OUT.  Byte-deterministic per seed.
+PROFILE_OUT ?= benchmarks/output/profile
+PROFILE_SEED ?= 7
+profile:
+	$(PYTHON) -m repro profile --all --seed $(PROFILE_SEED) --out $(PROFILE_OUT)
+
+# Regenerate the phase cost catalog (docs/phasecost.md + .json) — the
+# measured five-phase cost matrix for all ten techniques, from live
+# observed runs; `phasecost-check` fails when the checked-in copy is
+# stale.
+phasecost:
+	$(PYTHON) -m repro phasecost
+
+phasecost-check:
+	$(PYTHON) -m repro phasecost --check
 
 # Kernel & network hot-path microbenchmarks: writes the perf-trajectory
 # file BENCH_kernel.json at the repo root (measured figures + recorded

@@ -16,6 +16,7 @@ import os
 
 from conftest import OUTPUT_DIR, format_rows, report
 from repro.obs import write_artifacts
+from repro.profiling import dominant_phase_for
 from repro.workload import WorkloadSpec, run_workload
 
 TECHNIQUES = [
@@ -29,12 +30,16 @@ SPEC = WorkloadSpec(items=16, read_fraction=0.0, ops_per_transaction=1)
 
 def sweep():
     rows = {}
+    dominant = {}
     for name in TECHNIQUES:
         config = {"abcast": "sequencer"}  # identical, cheap ordering for all
         system, driver, summary = run_workload(
             name, spec=SPEC, replicas=3, clients=2, requests_per_client=10,
             seed=21, think_time=10.0, settle=300.0, config=config,
             observe=True,
+        )
+        dominant[name] = dominant_phase_for(
+            system.observer, (r.request_id for r in driver.results)
         )
         write_artifacts(
             system.observer,
@@ -43,11 +48,11 @@ def sweep():
             title=f"perf_response_time {name}",
         )
         rows[name] = summary
-    return rows
+    return rows, dominant
 
 
 def test_perf_response_time(once):
-    rows = once(sweep)
+    rows, dominant = once(sweep)
 
     mean = {name: rows[name].latency.mean for name in TECHNIQUES}
     # Qualitative shape asserted, not absolute numbers:
@@ -68,7 +73,8 @@ def test_perf_response_time(once):
 
     table = [
         [name, f"{rows[name].latency.mean:.2f}", f"{rows[name].latency.p95:.2f}",
-         f"{rows[name].latency.p99:.2f}", f"{rows[name].abort_rate:.2f}"]
+         f"{rows[name].latency.p99:.2f}", f"{rows[name].abort_rate:.2f}",
+         dominant[name]]
         for name in sorted(TECHNIQUES, key=lambda n: mean[n])
     ]
     report(
@@ -77,8 +83,10 @@ def test_perf_response_time(once):
         "3 replicas, 2 clients, latency unit = 1 per hop)\n\n"
         + format_rows(
             ["technique", "mean latency", "p95 latency", "p99 latency",
-             "abort rate"],
+             "abort rate", "dominant phase"],
             table,
         )
-        + "\n\nshape: lazy < primary-eager < coordinated update-everywhere",
+        + "\n\nshape: lazy < primary-eager < coordinated update-everywhere; "
+        "the dominant phase is where the critical-path profiler puts the "
+        "largest share of summed response time (docs/phasecost.md)",
     )

@@ -10,6 +10,7 @@ transactions must be undone") as conflict probability rises.
 from conftest import format_rows, report
 from repro import Operation, ReplicatedSystem
 from repro.analysis import StalenessProbe
+from repro.profiling import dominant_phase_for
 from repro.workload import WorkloadSpec, run_workload
 
 DELAYS = [5.0, 20.0, 60.0]
@@ -17,21 +18,26 @@ DELAYS = [5.0, 20.0, 60.0]
 
 def staleness_of(protocol, delay):
     system = ReplicatedSystem(
-        protocol, replicas=3, seed=23,
+        protocol, replicas=3, seed=23, observe=True,
         config={"propagation_delay": delay} if protocol != "eager_primary" else None,
     )
     probe = StalenessProbe(system, "x")
     probe.every(2.0, 400.0)
+    results = []
 
     def loop():
         for i in range(8):
-            yield system.client(0).submit([Operation.write("x", i)])
+            result = yield system.client(0).submit([Operation.write("x", i)])
+            results.append(result)
             yield system.sim.timeout(40.0)
 
     handle = system.sim.spawn(loop())
     system.sim.run_until_done(handle)
     system.sim.run(until=400.0)
-    return probe
+    dominant = dominant_phase_for(
+        system.observer, (r.request_id for r in results)
+    )
+    return probe, dominant
 
 
 def undone_at_conflict(items):
@@ -46,16 +52,16 @@ def undone_at_conflict(items):
 
 def sweep():
     lazy = {delay: staleness_of("lazy_primary", delay) for delay in DELAYS}
-    eager = staleness_of("eager_primary", 0.0)
+    eager, eager_dominant = staleness_of("eager_primary", 0.0)
     undone = {items: undone_at_conflict(items) for items in (32, 4, 1)}
-    return lazy, eager, undone
+    return lazy, (eager, eager_dominant), undone
 
 
 def test_perf_staleness(once):
-    lazy, eager, undone = once(sweep)
+    lazy, (eager, eager_dominant), undone = once(sweep)
 
-    fractions = [lazy[delay].stale_fraction() for delay in DELAYS]
-    windows = [lazy[delay].max_staleness_duration() for delay in DELAYS]
+    fractions = [lazy[delay][0].stale_fraction() for delay in DELAYS]
+    windows = [lazy[delay][0].max_staleness_duration() for delay in DELAYS]
     # The staleness window grows with the propagation delay.
     assert fractions == sorted(fractions), fractions
     assert windows == sorted(windows), windows
@@ -68,18 +74,22 @@ def test_perf_staleness(once):
 
     rows = [
         [f"lazy_primary (delay={delay:g})",
-         f"{lazy[delay].stale_fraction():.2f}",
-         f"{lazy[delay].max_staleness_duration():.0f}"]
+         f"{lazy[delay][0].stale_fraction():.2f}",
+         f"{lazy[delay][0].max_staleness_duration():.0f}",
+         lazy[delay][1]]
         for delay in DELAYS
     ]
     rows.append(["eager_primary", f"{eager.stale_fraction():.2f}",
-                 f"{eager.max_staleness_duration():.0f}"])
+                 f"{eager.max_staleness_duration():.0f}", eager_dominant])
     undone_rows = [[str(items), str(count)] for items, count in sorted(undone.items())]
     report(
         "perf_staleness",
         "Performance study: weak consistency made visible\n\n"
         "staleness of secondaries (probe every 2 time units):\n"
-        + format_rows(["configuration", "stale fraction", "max window"], rows)
+        + format_rows(
+            ["configuration", "stale fraction", "max window", "dominant phase"],
+            rows,
+        )
         + "\n\nlazy update everywhere: transactions undone by reconciliation "
         "vs data-set size (hotter = fewer items):\n"
         + format_rows(["items", "undone txns"], undone_rows),

@@ -21,6 +21,16 @@ Commands
     asserting each technique's declared guarantee and exporting obs
     evidence artifacts; see docs/resilience.md.  ``--list`` shows the
     campaigns.  Exits non-zero if any cell fails its guarantee.
+``profile TECHNIQUE|--all [--replicas N] [--requests N] [--seed N] [--out DIR]``
+    Drive one technique (or all ten) observed, extract each request's
+    critical path and five-phase latency attribution, and write the
+    byte-deterministic ``profile_<tech>_seed<seed>.json`` plus a
+    Perfetto-loadable counter track of the run's windowed time series;
+    prints the phase cost matrix.  See docs/observability.md.
+``phasecost [--check] [--docs DIR]``
+    Regenerate (or, with ``--check``, verify the freshness of) the
+    committed phase cost catalog ``docs/phasecost.{md,json}`` covering
+    all ten techniques; ``make check`` runs the check form.
 ``lint [paths] [options]``
     Run the static determinism/layering/contract linter
     (delegates to ``python -m repro.lint``; see docs/linting.md).
@@ -183,6 +193,74 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if passed == len(reports) else 1
 
 
+def _print_phase_table(profile: dict) -> None:
+    from .obs import KINDS, PHASES
+
+    matrix = profile["matrix"]
+    print(f"{'phase':7s} {'time':>9s} {'share':>7s} {'msgs':>6s} {'bytes':>8s}")
+    print("-" * 42)
+    for phase in PHASES:
+        row = matrix["phases"][phase]
+        print(f"{phase:7s} {row['time']:9.2f} {row['share']*100:6.1f}% "
+              f"{row['messages']:6d} {row['bytes']:8d}")
+    kinds = " ".join(
+        f"{kind}={matrix['kinds'][kind]['share']*100:.1f}%" for kind in KINDS
+    )
+    print(f"dominant: {matrix['dominant_phase']}  critical path: {kinds}")
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import os
+
+    from .obs import write_counter_track
+    from .profiling import profile_run, write_profile
+
+    if args.all:
+        techniques = DS_TECHNIQUES + DB_TECHNIQUES
+    elif args.technique:
+        if args.technique not in REGISTRY:
+            print(f"unknown technique {args.technique!r}; "
+                  "try: python -m repro list", file=sys.stderr)
+            return 2
+        techniques = [args.technique]
+    else:
+        print("profile: give a technique or --all", file=sys.stderr)
+        return 2
+    for name in techniques:
+        system, _driver, profile = profile_run(
+            name, seed=args.seed, replicas=args.replicas,
+            requests_per_client=args.requests,
+        )
+        stem = os.path.join(args.out, f"profile_{name}_seed{args.seed}")
+        path = write_profile(profile, f"{stem}.json")
+        counters = write_counter_track(
+            system.observer, stem, title=f"{name} seed={args.seed}"
+        )
+        matrix = profile["matrix"]
+        print(f"== {name} ({profile['figure']}) seed={args.seed} "
+              f"mean response {matrix['response_time_mean']:.2f} ==")
+        _print_phase_table(profile)
+        print(f"profile  -> {path}")
+        print(f"counters -> {counters}")
+        print()
+    return 0
+
+
+def cmd_phasecost(args: argparse.Namespace) -> int:
+    from .profiling import check_phasecost, write_phasecost
+
+    if args.check:
+        problems = check_phasecost(args.docs)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if not problems:
+            print(f"phase cost catalog in {args.docs}/ is fresh")
+        return 1 if problems else 0
+    for path in write_phasecost(args.docs):
+        print(f"wrote {path}")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -221,10 +299,25 @@ def main(argv=None) -> int:
                     help="skip span/metrics collection and artifact export")
     sp.add_argument("--list", action="store_true",
                     help="list the named campaigns and exit")
+    sp = sub.add_parser("profile", help="phase-resolved latency profile")
+    sp.add_argument("technique", nargs="?", default=None)
+    sp.add_argument("--all", action="store_true",
+                    help="profile every implemented technique")
+    sp.add_argument("--replicas", type=int, default=3)
+    sp.add_argument("--requests", type=int, default=10)
+    sp.add_argument("--seed", type=int, default=7)
+    sp.add_argument("--out", default="benchmarks/output/profile",
+                    help="directory receiving profile and counter artifacts")
+    sp = sub.add_parser("phasecost", help="(re)generate docs/phasecost.{md,json}")
+    sp.add_argument("--check", action="store_true",
+                    help="verify freshness instead of writing")
+    sp.add_argument("--docs", default="docs",
+                    help="directory holding the committed catalog")
     args = parser.parse_args(argv)
     return {"list": cmd_list, "figures": cmd_figures,
             "compare": cmd_compare, "run": cmd_run,
-            "observe": cmd_observe, "chaos": cmd_chaos}[args.command](args)
+            "observe": cmd_observe, "chaos": cmd_chaos,
+            "profile": cmd_profile, "phasecost": cmd_phasecost}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -137,6 +137,10 @@ class ReplicaNode:
         return self.node.crashed
 
     def _host_crashed(self) -> None:
+        if self.system.observer is not None:
+            # Close this host's open phase spans as errors before the
+            # teardown below makes the work they narrate unreachable.
+            self.system.observer.on_node_crash(self.name)
         self.tm.abort_all_active("node crashed")
         # The lock table is volatile: locks granted to *remote*
         # transactions (not covered by abort_all_active) must not survive
@@ -400,6 +404,11 @@ class ReplicatedSystem:
         self.observer: Optional[Observer] = Observer(self.sim) if observe else None
         if self.observer is not None:
             self.observer.attach(self.trace)
+            # Windowed telemetry: sample gauges (breaker states, derived
+            # end-of-run values) at every bucket boundary.  The tick hook
+            # fires inline from the event loop without scheduling events,
+            # so observation stays neutral to the run.
+            self.observer.attach_sampler(self.sim)
         self.tracer = PhaseTracer(self.trace, obs=self.observer)
         self.net = Network(
             self.sim,

@@ -50,6 +50,10 @@ ALLOWED_DEPS = {
     "workload": frozenset(
         {"errors", "sim", "net", "failures", "groupcomm", "db", "core", "analysis"}
     ),
+    "profiling": frozenset(
+        {"errors", "sim", "net", "obs", "failures", "groupcomm", "db", "core",
+         "analysis", "workload"}
+    ),
     "viz": frozenset(
         {"errors", "sim", "net", "failures", "groupcomm", "db", "core", "analysis"}
     ),
@@ -68,7 +72,8 @@ TOP_LEVEL_MAY_IMPORT_ANYTHING = True
 # exempt (they still must not perturb a run, but they hold no simulated
 # state).
 DETERMINISTIC_PACKAGES = frozenset(
-    {"core", "groupcomm", "db", "net", "failures", "sim", "obs", "resilience"}
+    {"core", "groupcomm", "db", "net", "failures", "sim", "obs", "resilience",
+     "profiling"}
 )
 
 # ``random.<fn>()`` calls share the interpreter-global Mersenne state; any

@@ -167,7 +167,22 @@ class Node:
     # -- tracked activity -------------------------------------------------------
 
     def spawn(self, generator: Generator, name: str = "") -> Process:
-        """Start a process owned by this node (interrupted on crash)."""
+        """Start a process owned by this node (interrupted on crash).
+
+        Under observation, the spawning span (typically the handler that
+        called us) is re-pushed around every resumption of the process,
+        so spans the process starts later — message flights of a 2PC
+        coordinator, retry rounds — stay in the request's causal tree
+        instead of becoming parentless background work.  The wrapper is
+        pure bookkeeping on the tracer's context stack: no events are
+        scheduled and no yields are added, so observed and unobserved
+        runs interleave identically.
+        """
+        obs = self.network.obs
+        if obs is not None and isinstance(generator, Generator):
+            span = obs.tracer.current
+            if span is not None:
+                generator = _with_span_context(obs.tracer, span, generator)
         process = self.sim.spawn(generator, name=name or f"{self.name}-proc")
         processes = self._processes
         processes.append(process)
@@ -255,3 +270,35 @@ class Node:
     def __repr__(self) -> str:
         state = "crashed" if self.crashed else "up"
         return f"<{type(self).__name__} {self.name} {state}>"
+
+
+def _with_span_context(
+    tracer: Any, span: Any, generator: Generator
+) -> Generator:
+    """Drive ``generator`` with ``span`` pushed during each resumption.
+
+    The simulator resumes processes with an empty tracer context (they
+    run from the event loop, not from the dispatch that spawned them);
+    this wrapper restores the spawning span for exactly the synchronous
+    stretch between two yields.  ``StopIteration`` from the inner
+    generator must be converted to a plain ``return`` (PEP 479 would
+    otherwise turn it into a ``RuntimeError``).
+    """
+    value: Any = None
+    error: Optional[BaseException] = None
+    while True:
+        tracer.push(span)
+        try:
+            if error is not None:
+                exc, error = error, None
+                item = generator.throw(exc)
+            else:
+                item = generator.send(value)
+        except StopIteration as stop:
+            return stop.value
+        finally:
+            tracer.pop()
+        try:
+            value = yield item
+        except BaseException as exc:
+            error, value = exc, None

@@ -5,7 +5,11 @@ request becomes a trace of causally linked spans (phases, message
 flights, handler invocations, lock waits, group-communication rounds),
 every layer's counters land in one metrics registry, and both export
 deterministically — Chrome trace-event JSON (Perfetto), JSONL spans and
-a plain-text metrics report.
+a plain-text metrics report.  On top of the raw spans,
+:mod:`~repro.obs.critpath` extracts each request's critical path and
+attributes its response time to the paper's five phases, and
+:mod:`~repro.obs.timeseries` buckets observations into windowed series
+for before/during/after-fault telemetry.
 
 Layering: ``obs`` may depend on ``errors``/``sim``/``net``; the layers
 it observes (``net``, ``db``, ``groupcomm``) never import it back —
@@ -15,17 +19,47 @@ they hold an optional duck-typed :class:`Observer` injected by
 """
 
 from .attrtrack import track_attr_writes, untrack_attr_writes
-from .export import chrome_trace, spans_jsonl, write_artifacts
+from .critpath import (
+    KINDS,
+    PHASES,
+    PhaseTimeline,
+    Segment,
+    critical_path,
+    phase_matrix,
+    request_profile,
+)
+from .export import (
+    assert_no_open_spans,
+    chrome_trace,
+    spans_jsonl,
+    write_artifacts,
+    write_counter_track,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .observer import Observer, abort_reason_label
 from .spans import INSTANT, SPAN, Span, SpanTracer
+from .timeseries import (
+    DEFAULT_BUCKET_WIDTH,
+    TimeSeries,
+    counter_trace,
+    counter_track_events,
+)
 
 __all__ = [
     "track_attr_writes",
     "untrack_attr_writes",
+    "KINDS",
+    "PHASES",
+    "PhaseTimeline",
+    "Segment",
+    "critical_path",
+    "phase_matrix",
+    "request_profile",
+    "assert_no_open_spans",
     "chrome_trace",
     "spans_jsonl",
     "write_artifacts",
+    "write_counter_track",
     "Counter",
     "Gauge",
     "Histogram",
@@ -36,4 +70,8 @@ __all__ = [
     "SpanTracer",
     "SPAN",
     "INSTANT",
+    "DEFAULT_BUCKET_WIDTH",
+    "TimeSeries",
+    "counter_trace",
+    "counter_track_events",
 ]

@@ -1,0 +1,362 @@
+"""Critical-path extraction and five-phase latency attribution.
+
+The paper's model says *which* phases a technique uses; this module
+measures *where a request's response time actually goes*.  Two
+complementary views over one request's span set:
+
+* **Phase timeline** — the `PhaseTracer` records (one per phase entry,
+  across all replicas) are swept into a single timeline: at every
+  instant of the request's life the governing phase is the most recent
+  record at-or-before it, and before the first record the request is by
+  definition in RE (the client is submitting).  The timeline *tiles* the
+  window between submission and response exactly, so per-phase times sum
+  to the measured response time by construction — the invariant the
+  profiler tests assert.
+* **Critical path** — a backward walk over the causal span tree (root
+  request span, message flights, handler invocations, lock waits).  From
+  the root's end the walk repeatedly descends into the child subtree
+  that reaches latest into the still-unexplained window, clamping each
+  child to the frontier; what no child explains is the parent's own
+  time.  Every emitted segment is classified as ``execution`` (handler
+  running), ``transit`` (message in flight) or ``blocked`` (lock wait,
+  or the client waiting on work the tree cannot see), then split along
+  phase-timeline boundaries so each carries exactly one phase.
+
+Spans here are **not** time-nested — a phase span outlives the handler
+that opened it (it ends when the *next* phase of the same (source,
+request) begins), and processes spawned by a handler keep producing
+child spans after the handler span closed.  The walk therefore orders
+children by subtree *reach* (the latest end anywhere below them), not by
+their own end, and clamps every descent to the parent's frontier.
+
+Layering: this module sees only :class:`~repro.obs.spans.Span` records;
+the phase names are the paper's fixed five-phase vocabulary (mirrored
+from ``repro.core.phases.PHASE_ORDER``, which sits above ``obs`` in the
+import DAG and therefore cannot be imported from here).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .spans import SPAN, Span
+
+__all__ = [
+    "PHASES",
+    "Segment",
+    "PhaseTimeline",
+    "critical_path",
+    "request_profile",
+    "phase_matrix",
+]
+
+# The five generic phases (Section 2.2, Figure 1), in canonical order.
+PHASES = ("RE", "SC", "EX", "AC", "END")
+
+# Span categories that form the causal work tree, and the critical-path
+# segment kind each one's own time classifies as.
+_KIND_OF = {
+    "request": "blocked",   # root own time = the client waiting
+    "message": "transit",
+    "handle": "execution",
+    "lock": "blocked",
+}
+
+KINDS = ("blocked", "execution", "transit")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One critical-path interval, attributed to a source, kind and phase."""
+
+    start: float
+    end: float
+    source: str
+    kind: str
+    phase: str
+    name: str
+    span_id: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "source": self.source,
+            "kind": self.kind,
+            "phase": self.phase,
+            "name": self.name,
+            "span_id": self.span_id,
+        }
+
+
+def _belongs(span_trace: str, trace_id: str) -> bool:
+    """Whether a span's trace id derives from ``trace_id``.
+
+    Transaction-scoped spans (lock waits) carry ids the protocols derive
+    from the request id — ``"<rid>@primary"``, ``"<rid>:2"`` — so prefix
+    matching up to the separator reunites them with their request.
+    """
+    if span_trace == trace_id:
+        return True
+    return span_trace.startswith(trace_id) and (
+        span_trace[len(trace_id):][:1] in ("@", ":", "#")
+    )
+
+
+class PhaseTimeline:
+    """The request's governing phase as a function of simulated time."""
+
+    def __init__(self, spans: Sequence[Span], trace_id: str) -> None:
+        records = sorted(
+            (
+                s for s in spans
+                if s.category == "phase" and _belongs(s.trace_id, trace_id)
+            ),
+            key=lambda s: (s.start, s.span_id),
+        )
+        times: List[float] = []
+        keys: List[Tuple[float, int]] = []
+        phases: List[str] = []
+        for span in records:
+            if phases and phases[-1] == span.name:
+                continue  # same phase re-entered (loop iteration): one tile
+            times.append(span.start)
+            keys.append((span.start, span.span_id))
+            phases.append(span.name)
+        self._times = times
+        self._keys = keys
+        self._phases = phases
+
+    def phase_at(self, time: float, span_id: Optional[int] = None) -> str:
+        """Most recent phase entered at-or-before ``time`` (RE before any).
+
+        Discrete-event runs execute whole request stages at one simulated
+        instant, so several phases can share a timestamp; passing the
+        asking span's ``span_id`` breaks the tie by creation order (a
+        message sent from inside the SC handler is an SC message even
+        though EX and END follow at the same time).
+        """
+        if span_id is None:
+            index = bisect_right(self._times, time) - 1
+        else:
+            index = bisect_right(self._keys, (time, span_id)) - 1
+        return self._phases[index] if index >= 0 else PHASES[0]
+
+    def tiles(self, lo: float, hi: float) -> List[Tuple[float, float, str]]:
+        """Partition ``[lo, hi]`` into maximal single-phase intervals."""
+        if hi <= lo:
+            return []
+        out: List[Tuple[float, float, str]] = []
+        cursor = lo
+        current = self.phase_at(lo)
+        start_index = bisect_right(self._times, lo)
+        for index in range(start_index, len(self._times)):
+            time = self._times[index]
+            if time >= hi:
+                break
+            phase = self._phases[index]
+            if phase == current:
+                continue
+            if time > cursor:
+                out.append((cursor, time, current))
+            cursor, current = time, phase
+        if hi > cursor:
+            out.append((cursor, hi, current))
+        return out
+
+
+def _tree_index(
+    spans: Sequence[Span], trace_id: str
+) -> Tuple[Optional[Span], Dict[int, List[Span]], Dict[int, float]]:
+    """Root span, children map and subtree reach of the causal work tree.
+
+    Spans whose recorded parent is outside the tree (work started from a
+    context the tracer could not see) are adopted under the root: they
+    demonstrably belong to the request, and the walk's clamping keeps an
+    adopted subtree inside whatever window it is asked to explain.
+    """
+    root: Optional[Span] = None
+    nodes: List[Span] = []
+    for span in spans:
+        if span.kind != SPAN or span.end is None:
+            continue
+        if span.category not in _KIND_OF or not _belongs(span.trace_id, trace_id):
+            continue
+        if span.category == "request" and root is None:
+            root = span
+        nodes.append(span)
+    if root is None:
+        return None, {}, {}
+    ids = {span.span_id for span in nodes}
+    parent_of: Dict[int, int] = {}
+    children: Dict[int, List[Span]] = {}
+    for span in nodes:
+        if span is root:
+            continue
+        parent = span.parent_id if span.parent_id in ids else root.span_id
+        parent_of[span.span_id] = parent
+        children.setdefault(parent, []).append(span)
+    # Parents are always created before children (span ids are allocated
+    # in creation order), so one descending pass folds each subtree's
+    # reach into its parent before the parent itself is folded.
+    reach: Dict[int, float] = {span.span_id: span.end for span in nodes}
+    for span in sorted(nodes, key=lambda s: -s.span_id):
+        parent = parent_of.get(span.span_id)
+        if parent is not None and reach[span.span_id] > reach[parent]:
+            reach[parent] = reach[span.span_id]
+    return root, children, reach
+
+
+def critical_path(
+    spans: Sequence[Span], trace_id: str
+) -> Tuple[Optional[Span], List[Segment]]:
+    """The request's critical path as contiguous, classified segments.
+
+    Returns ``(root_request_span, segments)``; the segments tile
+    ``[root.start, root.end]`` exactly (their durations sum to the
+    measured response time), in increasing time order.  Phase labels are
+    not attached here — callers overlay :class:`PhaseTimeline` via
+    :func:`request_profile`.
+    """
+    root, children, reach = _tree_index(spans, trace_id)
+    if root is None or root.end is None or root.end <= root.start:
+        return root, []
+    segments: List[Segment] = []
+
+    def own(span: Span, lo: float, hi: float) -> None:
+        segments.append(Segment(
+            start=lo, end=hi, source=span.source, kind=_KIND_OF[span.category],
+            phase="", name=span.name, span_id=span.span_id,
+        ))
+
+    def walk(span: Span, lo: float, hi: float) -> None:
+        cursor = hi
+        kids = sorted(
+            children.get(span.span_id, ()),
+            key=lambda c: (min(reach[c.span_id], hi), reach[c.span_id] <= hi,
+                           c.span_id),
+            reverse=True,
+        )
+        for child in kids:
+            if cursor <= lo:
+                break
+            if child.start >= cursor:
+                continue
+            child_hi = min(reach[child.span_id], cursor)
+            child_lo = max(child.start, lo)
+            if child_hi <= child_lo:
+                continue
+            if child_hi < cursor:
+                own(span, child_hi, cursor)
+            walk(child, child_lo, child_hi)
+            cursor = child_lo
+        if cursor > lo:
+            own(span, lo, cursor)
+
+    walk(root, root.start, root.end)
+    segments.reverse()
+    return root, segments
+
+
+def request_profile(spans: Sequence[Span], trace_id: str) -> Optional[Dict]:
+    """Everything measured about one request, JSON-serialisable.
+
+    ``phases`` (and thus ``phase_shares``) come from the phase timeline
+    and sum exactly to ``response_time`` (shares to 1.0); ``kinds`` come
+    from the critical-path walk and tile the same window.  ``messages``
+    and ``bytes`` count *all* of the request's message flights — also
+    those after the response (lazy propagation), attributed to the phase
+    governing their send time — so a lazy technique's AC cost is visible
+    even though it never touches the response window.
+    """
+    root, raw_segments = critical_path(spans, trace_id)
+    if root is None or root.end is None:
+        return None
+    timeline = PhaseTimeline(spans, trace_id)
+    response_time = root.end - root.start
+    phases = {phase: 0.0 for phase in PHASES}
+    for lo, hi, phase in timeline.tiles(root.start, root.end):
+        phases[phase] += hi - lo
+    segments: List[Segment] = []
+    kinds = {kind: 0.0 for kind in KINDS}
+    for segment in raw_segments:
+        kinds[segment.kind] += segment.duration
+        for lo, hi, phase in timeline.tiles(segment.start, segment.end):
+            segments.append(Segment(
+                start=lo, end=hi, source=segment.source, kind=segment.kind,
+                phase=phase, name=segment.name, span_id=segment.span_id,
+            ))
+    messages = {phase: 0 for phase in PHASES}
+    message_bytes = {phase: 0 for phase in PHASES}
+    for span in spans:
+        if span.category != "message" or not _belongs(span.trace_id, trace_id):
+            continue
+        phase = timeline.phase_at(span.start, span.span_id)
+        messages[phase] += 1
+        message_bytes[phase] += int(span.attrs.get("bytes", 0))
+    dominant = max(PHASES, key=lambda p: (phases[p], -PHASES.index(p)))
+    shares = {
+        phase: (phases[phase] / response_time if response_time > 0 else 0.0)
+        for phase in PHASES
+    }
+    return {
+        "request": trace_id,
+        "client": root.source,
+        "status": root.status,
+        "start": root.start,
+        "end": root.end,
+        "response_time": response_time,
+        "phases": phases,
+        "phase_shares": shares,
+        "dominant_phase": dominant,
+        "kinds": kinds,
+        "critical_path_length": sum(s.duration for s in raw_segments),
+        "messages": messages,
+        "bytes": message_bytes,
+        "segments": [segment.as_dict() for segment in segments],
+    }
+
+
+def phase_matrix(profiles: Sequence[Dict]) -> Dict:
+    """Aggregate per-request profiles into one technique's cost matrix.
+
+    Rows are the five phases; columns are total sim-time, share of
+    summed response time, message count and byte count — the measured
+    companion to the paper's Figure 5/6 classification tables.
+    """
+    total_response = sum(p["response_time"] for p in profiles)
+    phase_rows = {}
+    for phase in PHASES:
+        time = sum(p["phases"][phase] for p in profiles)
+        phase_rows[phase] = {
+            "time": time,
+            "share": time / total_response if total_response > 0 else 0.0,
+            "messages": sum(p["messages"][phase] for p in profiles),
+            "bytes": sum(p["bytes"][phase] for p in profiles),
+        }
+    kind_rows = {}
+    for kind in KINDS:
+        time = sum(p["kinds"][kind] for p in profiles)
+        kind_rows[kind] = {
+            "time": time,
+            "share": time / total_response if total_response > 0 else 0.0,
+        }
+    dominant = max(
+        PHASES, key=lambda p: (phase_rows[p]["time"], -PHASES.index(p))
+    ) if profiles else PHASES[0]
+    return {
+        "requests": len(profiles),
+        "response_time_total": total_response,
+        "response_time_mean": (
+            total_response / len(profiles) if profiles else 0.0
+        ),
+        "dominant_phase": dominant,
+        "phases": phase_rows,
+        "kinds": kind_rows,
+    }

@@ -20,10 +20,34 @@ import json
 import os
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..errors import ReplicationError
 from .observer import Observer
 from .spans import INSTANT, Span
+from .timeseries import counter_trace
 
-__all__ = ["chrome_trace", "spans_jsonl", "write_artifacts"]
+__all__ = [
+    "chrome_trace",
+    "spans_jsonl",
+    "write_artifacts",
+    "write_counter_track",
+    "assert_no_open_spans",
+]
+
+
+def assert_no_open_spans(observer: Observer) -> None:
+    """Fail loudly if finalization left any span unbounded.
+
+    ``finalize()`` closes stragglers at the horizon, so an open span
+    after it means a bookkeeping bug (a hook that started a span and
+    lost it), not a lazy technique's legitimate tail — exports must
+    refuse to paper over that.
+    """
+    leaked = observer.tracer.open_spans()
+    if leaked:
+        listing = ", ".join(repr(span) for span in leaked[:5])
+        raise ReplicationError(
+            f"{len(leaked)} span(s) still open after finalize: {listing}"
+        )
 
 # Simulated-time unit -> Chrome microseconds (1 unit rendered as 1 ms).
 _TS_SCALE = 1000.0
@@ -122,6 +146,7 @@ def write_artifacts(
     ``<stem>.metrics.txt``.  Returns format -> path.
     """
     observer.finalize()
+    assert_no_open_spans(observer)
     directory = os.path.dirname(stem)
     if directory:
         os.makedirs(directory, exist_ok=True)
@@ -138,3 +163,24 @@ def write_artifacts(
     with open(paths["metrics"], "w") as handle:
         handle.write(observer.metrics.report(title=title))
     return paths
+
+
+def write_counter_track(
+    observer: Observer, stem: str, title: str = "repro profile"
+) -> str:
+    """Write the run's time series as a Perfetto counter-track document.
+
+    Kept separate from :func:`write_artifacts` (which writes exactly the
+    three classic artifacts) so existing callers and tests keep their
+    contract; the profiler calls both.  Returns the written path.
+    """
+    observer.finalize()
+    directory = os.path.dirname(stem)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    path = f"{stem}.counters.trace.json"
+    with open(path, "w") as handle:
+        handle.write(
+            counter_trace(observer.metrics.series_snapshot(), process_name=title)
+        )
+    return path

@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Tuple
 
+from .timeseries import DEFAULT_BUCKET_WIDTH, TimeSeries
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
@@ -106,10 +108,12 @@ def _render(key: Tuple[str, str]) -> str:
 class MetricsRegistry:
     """All instruments of one observed run."""
 
-    def __init__(self) -> None:
+    def __init__(self, series_width: float = DEFAULT_BUCKET_WIDTH) -> None:
         self._counters: Dict[Tuple[str, str], Counter] = {}
         self._gauges: Dict[Tuple[str, str], Gauge] = {}
         self._histograms: Dict[Tuple[str, str], Histogram] = {}
+        self._series: Dict[Tuple[str, str], TimeSeries] = {}
+        self.series_width = series_width
 
     # -- instrument access -------------------------------------------------
 
@@ -122,6 +126,19 @@ class MetricsRegistry:
     def histogram(self, name: str, label: Optional[str] = None) -> Histogram:
         return self._histograms.setdefault(_key(name, label), Histogram())
 
+    def series(self, name: str, label: Optional[str] = None) -> TimeSeries:
+        """The windowed time series for ``(name, label)``.
+
+        All series of one registry share ``series_width`` so their
+        buckets align — a throughput dent and a breaker state flip in
+        the same bucket are the same moment of the run.
+        """
+        key = _key(name, label)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = TimeSeries(self.series_width)
+        return series
+
     # -- one-call helpers ----------------------------------------------------
 
     def inc(self, name: str, label: Optional[str] = None, amount: int = 1) -> None:
@@ -132,6 +149,24 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float, label: Optional[str] = None) -> None:
         self.histogram(name, label).observe(value)
+
+    def sample(
+        self, name: str, time: float, value: float = 1.0,
+        label: Optional[str] = None,
+    ) -> None:
+        """Record ``value`` at simulated ``time`` into a windowed series."""
+        self.series(name, label).observe(time, value)
+
+    def series_snapshot(self) -> Dict[str, TimeSeries]:
+        """All series keyed by their rendered ``name{label}`` form."""
+        return {_render(k): s for k, s in sorted(self._series.items())}
+
+    def gauge_values(self) -> List[Tuple[str, str, float]]:
+        """``(name, label, value)`` rows for every gauge, sorted by key."""
+        return [
+            (name, label, gauge.value)
+            for (name, label), gauge in sorted(self._gauges.items())
+        ]
 
     # -- output ----------------------------------------------------------------
 
@@ -146,6 +181,9 @@ class MetricsRegistry:
             },
             "histograms": {
                 _render(k): h.summary() for k, h in sorted(self._histograms.items())
+            },
+            "timeseries": {
+                _render(k): s.summary() for k, s in sorted(self._series.items())
             },
         }
 
@@ -179,10 +217,23 @@ class MetricsRegistry:
                     f"{s['max']:>10.3f}"
                 )
             lines.append("")
+        series = {
+            _render(k): s for k, s in sorted(self._series.items()) if len(s)
+        }
+        if series:
+            lines.append("[timeseries]")
+            width = max(len(k) for k in series)
+            for key, s in series.items():
+                lines.append(
+                    f"{key.ljust(width)}  width={s.width:g} "
+                    f"buckets={len(s)} |{s.sparkline()}|"
+                )
+            lines.append("")
         return "\n".join(lines).rstrip() + "\n"
 
     def __repr__(self) -> str:
         return (
             f"<MetricsRegistry counters={len(self._counters)} "
-            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)} "
+            f"series={len(self._series)}>"
         )

@@ -73,8 +73,11 @@ class Observer:
         self.metrics = MetricsRegistry()
         self._open_requests: Dict[str, Span] = {}
         self._open_phases: Dict[Tuple[str, object], Span] = {}
+        self._completed_at: Dict[str, float] = {}
         self.lock_sequence: List[Tuple[str, str, str, str]] = []
         self.attr_writes: Dict[str, set] = {}
+        self._trace_log: Any = None
+        self._sampled_sim: Any = None
         self._finalized = False
 
     # -- client request lifecycle (called from repro.core) -----------------
@@ -98,11 +101,17 @@ class Observer:
         status = "ok" if committed else "aborted"
         self.tracer.finish(span, status=status, committed=committed,
                            reason=reason, retries=retries)
+        self._completed_at[str(request_id)] = span.end
         self.metrics.inc("requests.committed" if committed else "requests.aborted")
         if retries:
             self.metrics.inc("requests.retries", amount=retries)
+        now = self.tracer.now
         if committed:
             self.metrics.observe("request.latency", span.duration)
+            self.metrics.sample("ts.completions", now)
+            self.metrics.sample("ts.response_time", now, span.duration)
+        else:
+            self.metrics.sample("ts.aborts", now)
 
     @contextmanager
     def request_context(self, request_id: str) -> Iterator[Optional[Span]]:
@@ -113,20 +122,36 @@ class Observer:
     # -- network (called from repro.net, duck-typed) -----------------------
 
     def on_message_send(self, message: Any) -> None:
-        """Open a flight span for an envelope and stamp it on the message."""
+        """Open a flight span for an envelope and stamp it on the message.
+
+        The flight normally parents (and inherits its trace) from the
+        context stack.  When the send happens outside any context — a
+        timer callback, a process the tracer could not see — the trace
+        id is recovered from request/transaction identifiers inside the
+        payload, so phase attribution and the critical-path walk keep
+        every flight of a request even across untracked boundaries.
+        """
+        payload = message.payload
         attrs = {"type": message.type, "src": message.src, "dst": message.dst,
                  "msg_id": message.msg_id}
         inner = None
-        if isinstance(message.payload, dict):
-            inner = message.payload.get("inner_type")
+        if isinstance(payload, dict):
+            inner = payload.get("inner_type")
+            attrs["bytes"] = size = _approx_size(payload)
+            self.metrics.inc("messages.bytes", amount=size)
         if isinstance(inner, str):
             attrs["inner"] = inner
+        trace_id = None
+        if self.tracer.current is None:
+            trace_id = _payload_trace_hint(payload)
         span = self.tracer.start(
-            f"msg:{message.type}", "message", message.src, **attrs
+            f"msg:{message.type}", "message", message.src,
+            trace_id=trace_id, **attrs
         )
         message.span_id = span.span_id
         self.metrics.inc("messages.sent")
         self.metrics.inc("messages.sent.by_type", label=message.type)
+        self.metrics.sample("ts.messages", span.start)
         if isinstance(inner, str):
             self.metrics.inc("messages.sent.by_inner_type", label=inner)
 
@@ -169,12 +194,22 @@ class Observer:
             self.tracer.finish(previous)
             self.metrics.observe("phase.latency", previous.duration,
                                  label=previous.name)
+            self.metrics.sample("ts.phase_time", previous.end,
+                                previous.duration, label=previous.name)
         span = self.tracer.start(
             phase, "phase", source, trace_id=str(request_id),
             request=str(request_id), mechanism=mechanism,
         )
         self._open_phases[key] = span
         self.metrics.inc("phases.entered", label=phase)
+        completed = self._completed_at.get(str(request_id))
+        if phase == "AC" and completed is not None:
+            # A replica applying after the client already got its answer:
+            # lazy propagation.  The gap is the staleness window this
+            # update was invisible for — replication lag, as a series.
+            self.metrics.sample(
+                "ts.replication_lag", span.start, span.start - completed
+            )
         return span
 
     # -- locks (called from repro.db.locks, duck-typed) ----------------------
@@ -245,7 +280,30 @@ class Observer:
         observer exists.  Events fire inside handler contexts, so the
         instants land in the right causal subtree.
         """
+        self._trace_log = trace_log
         trace_log.subscribe(self._on_trace_event)
+
+    def attach_sampler(self, sim: Any, width: Optional[float] = None) -> None:
+        """Sample gauges at every bucket boundary via the sim tick hook.
+
+        Event-fed series carry their own timestamps; *state* (breaker
+        positions, suspicion counts — anything held in a gauge) has to be
+        polled.  The simulator's tick hook fires inline as the event loop
+        crosses bucket boundaries — no timers are scheduled, so observing
+        a run does not perturb it (the neutrality test's contract).
+        """
+        self._sampled_sim = sim
+        sim.set_tick_hook(
+            width if width is not None else self.metrics.series_width,
+            self._on_tick,
+        )
+
+    def _on_tick(self, boundary: float) -> None:
+        """Record every gauge's current value into its ``sample.*`` series."""
+        for name, label, value in self.metrics.gauge_values():
+            self.metrics.sample(
+                f"sample.{name}", boundary, value, label=label or None
+            )
 
     def _on_trace_event(self, event: Any) -> None:
         category = event.category
@@ -282,6 +340,25 @@ class Observer:
                 **_primitive_attrs(event.data),
             )
             self.metrics.inc("faults.injected", label=action)
+            self.metrics.sample("ts.faults", self.tracer.now)
+
+    # -- crashes (called from repro.core.system) ------------------------------
+
+    def on_node_crash(self, node_name: str) -> None:
+        """Close the crashed node's open phase spans as errors.
+
+        The host loses its in-flight work (active transactions are
+        aborted, the serving table cleared); the spans narrating that
+        work must not linger as if it were still running — satellite
+        audit: no leaked open spans on chaos paths.
+        """
+        keys = sorted(
+            (k for k in self._open_phases if k[0] == node_name), key=repr
+        )
+        for key in keys:
+            span = self._open_phases.pop(key)
+            self.tracer.finish(span, status="error:crash")
+        self.metrics.inc("nodes.crashed")
 
     # -- export preparation ----------------------------------------------------
 
@@ -290,6 +367,12 @@ class Observer:
         if self._finalized:
             return
         self._finalized = True
+        if self._sampled_sim is not None:
+            # Final gauge sample at the horizon, then detach so a reused
+            # simulator does not call into a finalized observer.
+            self._on_tick(self.tracer.now)
+            self._sampled_sim.clear_tick_hook()
+            self._sampled_sim = None
         for key in sorted(self._open_phases, key=repr):
             span = self._open_phases[key]
             self.tracer.finish(span, status="open")
@@ -297,8 +380,17 @@ class Observer:
         for request_id in sorted(self._open_requests):
             self.tracer.finish(self._open_requests[request_id], status="unanswered")
         self._open_requests.clear()
+        force_closed = len(self.tracer.open_spans())
         self.tracer.finalize()
         self.metrics.set("spans.recorded", float(len(self.tracer.spans)))
+        self.metrics.set("spans.force_closed", float(force_closed))
+        if self._trace_log is not None:
+            # Ring-buffer overflow is silent at drop time by design (the
+            # hot path cannot afford reporting); surface it here so a
+            # truncated trace is visible in every metrics report.
+            self.metrics.set(
+                "trace.dropped_events", float(self._trace_log.dropped_events)
+            )
 
     def __repr__(self) -> str:
         return f"<Observer {self.tracer!r} {self.metrics!r}>"
@@ -307,6 +399,66 @@ class Observer:
 def _txn_trace(txn: object) -> str:
     """Transaction ids double as trace ids when protocols reuse request ids."""
     return str(txn)
+
+
+def _approx_size(value: Any) -> int:
+    """Deterministic wire-size estimate of a payload, in bytes.
+
+    An accounting convention, not a codec: strings count their length,
+    numbers a fixed word, containers recurse with small framing.  Unknown
+    objects count a flat 16 — never ``str()`` them, the default repr
+    embeds ``id()`` and would vary run to run.
+    """
+    if isinstance(value, bool) or value is None:
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, dict):
+        return 2 + sum(
+            _approx_size(k) + _approx_size(v) + 2 for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 2 + sum(_approx_size(item) for item in value)
+    return 16
+
+
+def _payload_trace_hint(payload: Any, depth: int = 5) -> Optional[str]:
+    """Recover a trace id from request identifiers inside a payload.
+
+    Used only for sends with an empty causal context — timer callbacks
+    (lazy propagation, retransmissions) and the group-communication
+    stack's ``call_soon`` local-delivery hops, where the synchronous
+    context chain is cut.  Wire payloads nest the request under framing
+    layers (a reliable-transport frame wraps an ordered-broadcast body
+    wraps the request), so the probe descends a few known envelope keys.
+    A ``None`` merely leaves the flight as background traffic, so it is
+    deliberately conservative: exact keys, bounded depth, first match in
+    a fixed order.
+    """
+    if not isinstance(payload, dict) or depth <= 0:
+        return None
+    request_id = payload.get("request_id")
+    if isinstance(request_id, str) and request_id:
+        return request_id
+    for key in ("txn", "txn_id"):
+        txn = payload.get(key)
+        if isinstance(txn, str) and txn:
+            return txn.split("@", 1)[0]
+    for key in ("request", "body", "updates"):
+        hint = _payload_trace_hint(payload.get(key), depth - 1)
+        if hint is not None:
+            return hint
+    entries = payload.get("entries")
+    if isinstance(entries, list) and entries:
+        # A propagation batch: attribute the flight to the first shipped
+        # transaction's request (a convention — the batch serves them
+        # all, but one trace must own the flight span).
+        return _payload_trace_hint(entries[0], depth - 1)
+    return None
 
 
 def _primitive_attrs(data: Dict[str, Any]) -> Dict[str, Any]:

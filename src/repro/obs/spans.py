@@ -202,14 +202,23 @@ class SpanTracer:
     def span(
         self, name: str, category: str, source: str, **kwargs: Any
     ) -> Iterator[Span]:
-        """Start a span, make it current, finish it on exit."""
+        """Start a span, make it current, finish it on exit.
+
+        An exception escaping the block (a handler interrupted by a node
+        crash, an unknown-destination raise) still closes the span, but
+        tagged ``error:<ExceptionType>`` instead of ``ok`` — error paths
+        must never leave a span open or mislabelled as clean.
+        """
         span = self.start(name, category, source, **kwargs)
         self.push(span)
         try:
             yield span
-        finally:
+        except BaseException as exc:
             self.pop()
-            self.finish(span)
+            self.finish(span, status=f"error:{type(exc).__name__}")
+            raise
+        self.pop()
+        self.finish(span)
 
     # -- queries ------------------------------------------------------------
 
@@ -222,6 +231,10 @@ class SpanTracer:
             (s for s in self.spans if s.trace_id == trace_id),
             key=lambda s: (s.start, s.span_id),
         )
+
+    def open_spans(self) -> List[Span]:
+        """Spans not yet closed, in creation order (empty after finalize)."""
+        return [span for span in self.spans if span.end is None]
 
     def phase_sequence(
         self, trace_id: str, source: Optional[str] = None

@@ -1,0 +1,167 @@
+"""Windowed time series: fixed sim-time buckets over an observed run.
+
+Aggregate metrics (counters, end-of-run histograms) answer "how much in
+total"; chaos campaigns and the profiler also need "when" — throughput
+and per-phase latency *before, during and after* a fault window, the
+replication lag of a lazy technique as propagation drains, the circuit
+breaker's state flips.  A :class:`TimeSeries` collects observations into
+fixed-width buckets of simulated time; the registry keeps one per
+``(name, label)`` next to the other instruments and snapshots them with
+the same determinism guarantees (sorted keys, per-seed byte-identical).
+
+The bucket clock: series fed from event hooks (request completions,
+phase transitions, message sends) need no clock support at all — each
+observation carries its own timestamp.  *State* sampling (gauges such as
+``resilience.breaker.state``) additionally uses the simulator's tick
+hook (:meth:`repro.sim.Simulator.set_tick_hook`), which fires inline as
+the event loop crosses bucket boundaries: no timers are scheduled, so an
+observed run's event interleaving is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Tuple
+
+__all__ = ["TimeSeries", "counter_track_events", "counter_trace"]
+
+# Default bucket width in simulated time units (one network hop = 1.0;
+# 50 units ≈ a handful of requests per bucket under the stock workloads).
+DEFAULT_BUCKET_WIDTH = 50.0
+
+# Simulated-time unit -> Chrome microseconds, matching export.chrome_trace
+# (1 simulated unit rendered as 1 ms).
+_TS_SCALE = 1000.0
+
+
+class TimeSeries:
+    """Observations aggregated into fixed-width sim-time buckets.
+
+    Each bucket keeps ``(count, total, min, max)`` of the values observed
+    inside it, which is enough to reconstruct rates (count per bucket),
+    means (total/count) and envelopes without retaining every sample.
+    """
+
+    __slots__ = ("width", "buckets")
+
+    def __init__(self, width: float = DEFAULT_BUCKET_WIDTH) -> None:
+        if not (width > 0):
+            raise ValueError(f"bucket width must be positive, got {width!r}")
+        self.width = width
+        self.buckets: Dict[int, List[float]] = {}
+
+    def observe(self, time: float, value: float = 1.0) -> None:
+        """Record ``value`` at simulated ``time`` into its bucket."""
+        index = int(time // self.width)
+        bucket = self.buckets.get(index)
+        if bucket is None:
+            self.buckets[index] = [1, value, value, value]
+        else:
+            bucket[0] += 1
+            bucket[1] += value
+            if value < bucket[2]:
+                bucket[2] = value
+            if value > bucket[3]:
+                bucket[3] = value
+
+    # -- queries -----------------------------------------------------------
+
+    def counts(self) -> List[Tuple[float, int]]:
+        """``(bucket_start_time, count)`` rows in time order."""
+        return [
+            (index * self.width, int(self.buckets[index][0]))
+            for index in sorted(self.buckets)
+        ]
+
+    def totals(self) -> List[Tuple[float, float]]:
+        """``(bucket_start_time, sum_of_values)`` rows in time order."""
+        return [
+            (index * self.width, self.buckets[index][1])
+            for index in sorted(self.buckets)
+        ]
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot: width + per-bucket aggregates."""
+        return {
+            "width": self.width,
+            "buckets": {
+                str(index): {
+                    "count": int(bucket[0]),
+                    "sum": bucket[1],
+                    "min": bucket[2],
+                    "max": bucket[3],
+                }
+                for index, bucket in sorted(self.buckets.items())
+            },
+        }
+
+    def sparkline(self, levels: str = " .:-=+*#%@") -> str:
+        """Compact count-per-bucket rendering for the text report.
+
+        Buckets between the first and last populated one render as one
+        character each, scaled to the peak count; gaps show as spaces —
+        a fault window reads as a visible dent in throughput.
+        """
+        if not self.buckets:
+            return ""
+        lo, hi = min(self.buckets), max(self.buckets)
+        peak = max(bucket[0] for bucket in self.buckets.values())
+        chars = []
+        for index in range(lo, hi + 1):
+            bucket = self.buckets.get(index)
+            if bucket is None or peak <= 0:
+                chars.append(levels[0])
+            else:
+                rank = int(bucket[0] / peak * (len(levels) - 1) + 0.5)
+                chars.append(levels[max(1, rank)])
+        return "".join(chars)
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    def __repr__(self) -> str:
+        return f"<TimeSeries width={self.width:g} buckets={len(self.buckets)}>"
+
+
+def counter_track_events(
+    series_map: Mapping[str, TimeSeries], pid: int = 0, tid: int = 0
+) -> List[Dict[str, Any]]:
+    """Render series as Perfetto counter-track (``"ph": "C"``) events.
+
+    One counter track per series name; each populated bucket emits a
+    sample at its start with the bucket's count and value sum, plus a
+    closing zero sample one bucket after the last so the track returns
+    to baseline instead of extending its final value forever.
+    """
+    events: List[Dict[str, Any]] = []
+    for name in sorted(series_map):
+        series = series_map[name]
+        if not series.buckets:
+            continue
+        for index in sorted(series.buckets):
+            bucket = series.buckets[index]
+            events.append({
+                "ph": "C", "pid": pid, "tid": tid,
+                "ts": index * series.width * _TS_SCALE,
+                "name": name,
+                "args": {"count": int(bucket[0]), "sum": round(bucket[1], 9)},
+            })
+        closing = (max(series.buckets) + 1) * series.width
+        events.append({
+            "ph": "C", "pid": pid, "tid": tid, "ts": closing * _TS_SCALE,
+            "name": name, "args": {"count": 0, "sum": 0},
+        })
+    return events
+
+
+def counter_trace(
+    series_map: Mapping[str, TimeSeries], process_name: str = "repro profile"
+) -> str:
+    """Standalone Perfetto-loadable counter-track document (byte-stable)."""
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+         "args": {"name": process_name}},
+    ]
+    events.extend(counter_track_events(series_map))
+    document = {"displayTimeUnit": "ms", "traceEvents": events}
+    return json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"

@@ -1,0 +1,135 @@
+"""Profile runner: one observed run → one deterministic profile document.
+
+The profile is the measured answer to "where does this technique's
+response time go": per-request critical paths and phase attributions
+(:mod:`repro.obs.critpath`) aggregated into the technique's phase cost
+matrix, the run's windowed time series, and enough run metadata to
+reproduce it.  Byte-deterministic for a given (technique, seed,
+parameters) — the regression tests compare two runs' JSON verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..analysis import messages_per_request
+from ..core.protocols import REGISTRY
+from ..obs import phase_matrix, request_profile
+from ..workload import WorkloadSpec, run_workload
+
+__all__ = [
+    "profile_run",
+    "profiles_for",
+    "matrix_for",
+    "dominant_phase_for",
+    "profile_json",
+    "write_profile",
+]
+
+
+def profiles_for(observer: Any, request_ids: Iterable[str]) -> List[Dict]:
+    """Per-request profiles for ``request_ids``, in sorted id order.
+
+    Finalizes the observer (idempotent) so every span is bounded before
+    the walk; requests whose root span never materialised (none, in a
+    healthy run) are skipped rather than fabricated.
+    """
+    observer.finalize()
+    spans = observer.tracer.spans
+    out = []
+    for request_id in sorted(str(r) for r in request_ids):
+        profile = request_profile(spans, request_id)
+        if profile is not None:
+            out.append(profile)
+    return out
+
+
+def matrix_for(observer: Any, request_ids: Iterable[str]) -> Dict:
+    """The phase cost matrix over ``request_ids`` (see ``phase_matrix``)."""
+    return phase_matrix(profiles_for(observer, request_ids))
+
+
+def dominant_phase_for(observer: Any, request_ids: Iterable[str]) -> str:
+    """The phase carrying the most summed response time (benchmark column)."""
+    return matrix_for(observer, request_ids)["dominant_phase"]
+
+
+def profile_run(
+    technique: str,
+    seed: int = 7,
+    replicas: int = 3,
+    clients: int = 2,
+    requests_per_client: int = 10,
+    think_time: float = 10.0,
+    settle: float = 500.0,
+    spec: Optional[WorkloadSpec] = None,
+    config: Optional[dict] = None,
+) -> Tuple[Any, Any, Dict]:
+    """Drive one observed run and build its profile document.
+
+    Returns ``(system, driver, profile)`` so callers can keep digging
+    into the observer; the profile dict alone is what the exporters
+    serialise.  Parameters default to the CLI's standard experiment (the
+    same shape ``python -m repro observe`` runs).
+    """
+    if technique not in REGISTRY:
+        raise ValueError(
+            f"unknown technique {technique!r}; available: {sorted(REGISTRY)}"
+        )
+    spec = spec if spec is not None else WorkloadSpec(items=8, read_fraction=0.0)
+    config = dict(config) if config is not None else {"abcast": "sequencer"}
+    system, driver, summary = run_workload(
+        technique, spec=spec, replicas=replicas, clients=clients,
+        requests_per_client=requests_per_client, seed=seed,
+        think_time=think_time, settle=settle, config=config, observe=True,
+    )
+    observer = system.observer
+    profiles = profiles_for(observer, (r.request_id for r in driver.results))
+    info = system.info
+    profile = {
+        "technique": technique,
+        "title": info.title,
+        "figure": info.figure,
+        "phase_row": " ".join(info.descriptor.phase_names()),
+        "consistency": info.consistency,
+        "params": {
+            "seed": seed,
+            "replicas": replicas,
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "think_time": think_time,
+            "settle": settle,
+        },
+        "summary": {
+            "requests": summary.requests,
+            "committed": summary.committed,
+            "aborted": summary.aborted,
+            "messages_per_request": round(
+                messages_per_request(system.net.stats, summary.requests), 6
+            ),
+        },
+        "matrix": phase_matrix(profiles),
+        "requests": profiles,
+        "timeseries": {
+            name: series.summary()
+            for name, series in observer.metrics.series_snapshot().items()
+        },
+    }
+    return system, driver, profile
+
+
+def profile_json(profile: Dict) -> str:
+    """Canonical byte-stable serialisation of a profile document."""
+    return json.dumps(profile, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_profile(profile: Dict, path: str) -> str:
+    """Write ``profile`` as canonical JSON; returns the path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(profile_json(profile))
+    return path

@@ -52,6 +52,8 @@ from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 from ..errors import Cancelled, ProcessInterrupted, SimulationError
 
+_INFINITY = float("inf")
+
 __all__ = [
     "Simulator",
     "Future",
@@ -467,6 +469,9 @@ class Simulator:
         self.rng = random.Random(seed)
         self.seed = seed
         self._streams: Dict[str, random.Random] = {}
+        self._tick_width = 0.0
+        self._tick_next = _INFINITY
+        self._tick_callback: Optional[Callable[[float], None]] = None
 
     def stream(self, name: str) -> random.Random:
         """A named random stream derived from the simulator seed.
@@ -627,6 +632,41 @@ class Simulator:
                 raise SimulationError(f"not a waitable: {waitable!r}")
         return futures
 
+    # -- tick hook ------------------------------------------------------------
+
+    def set_tick_hook(self, width: float, callback: Callable[[float], None]) -> None:
+        """Call ``callback(boundary)`` as the clock crosses bucket boundaries.
+
+        The hook fires *inline* from the event loop, synchronously, just
+        after the clock advances past each multiple of ``width`` — no
+        timer events are scheduled, so the event interleaving of the run
+        is exactly what it would be without the hook (the observability
+        neutrality contract).  The callback must not schedule events or
+        advance the clock; it is for sampling state (gauges) only.  One
+        hook at a time; setting replaces any previous hook.
+        """
+        if not (width > 0):
+            raise SimulationError(f"tick width must be positive, got {width!r}")
+        self._tick_width = width
+        self._tick_callback = callback
+        self._tick_next = (self._now // width + 1) * width
+
+    def clear_tick_hook(self) -> None:
+        """Remove the tick hook (safe when none is set)."""
+        self._tick_width = 0.0
+        self._tick_next = _INFINITY
+        self._tick_callback = None
+
+    def _fire_ticks(self, time: float) -> None:
+        """Invoke the hook for every bucket boundary at-or-before ``time``."""
+        callback = self._tick_callback
+        if callback is None:  # pragma: no cover - guarded by _tick_next
+            return
+        while self._tick_next <= time:
+            boundary = self._tick_next
+            self._tick_next = boundary + self._tick_width
+            callback(boundary)
+
     # -- execution ------------------------------------------------------------
 
     def step(self) -> bool:
@@ -638,6 +678,8 @@ class Simulator:
                 self._dead -= 1
                 continue
             self._now = time
+            if time >= self._tick_next:
+                self._fire_ticks(time)
             self.events_processed += 1
             timer._fire()
             return True
@@ -669,6 +711,8 @@ class Simulator:
                 self._dead -= 1
                 continue
             self._now = time
+            if time >= self._tick_next:
+                self._fire_ticks(time)
             self.events_processed += 1
             timer._fire()
             events += 1
