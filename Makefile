@@ -9,7 +9,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check lint typecheck test baseline catalog catalog-check \
 	waitgraph waitgraph-check interference interference-check \
-	observe bench-json chaos profile phasecost phasecost-check
+	observe bench-json chaos profile phasecost phasecost-check \
+	sweep sweep-smoke
 
 check: lint typecheck catalog-check waitgraph-check interference-check \
 	phasecost-check test chaos
@@ -62,6 +63,18 @@ phasecost:
 
 phasecost-check:
 	$(PYTHON) -m repro phasecost --check
+
+# Open-loop seed x rate x technique sweep fanned across CPU cores:
+# writes the merged byte-deterministic sweep.json plus the saturation
+# table (goodput and p99 vs offered load, knee marked) for all ten
+# techniques to SWEEP_OUT.  `sweep-smoke` is the CI-sized matrix (two
+# techniques, one seed, two rates).  See docs/workloads.md.
+SWEEP_OUT ?= benchmarks/output/sweep
+sweep:
+	$(PYTHON) -m repro sweep --out $(SWEEP_OUT)
+
+sweep-smoke:
+	$(PYTHON) -m repro sweep --smoke --out $(SWEEP_OUT)
 
 # Kernel & network hot-path microbenchmarks: writes the perf-trajectory
 # file BENCH_kernel.json at the repo root (measured figures + recorded

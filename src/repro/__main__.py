@@ -31,6 +31,11 @@ Commands
     Regenerate (or, with ``--check``, verify the freshness of) the
     committed phase cost catalog ``docs/phasecost.{md,json}`` covering
     all ten techniques; ``make check`` runs the check form.
+``sweep [--smoke] [--technique NAME] [--seeds CSV] [--rates CSV] [--jobs N]``
+    Fan the open-loop seed×rate×technique matrix across CPU cores,
+    merge the per-cell rows into one byte-deterministic JSON and print
+    the saturation table (goodput and p99 vs offered load, knee marked);
+    see docs/workloads.md.  ``--smoke`` shrinks the matrix for CI.
 ``lint [paths] [options]``
     Run the static determinism/layering/contract linter
     (delegates to ``python -m repro.lint``; see docs/linting.md).
@@ -261,6 +266,50 @@ def cmd_phasecost(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .workload.sweep import SweepConfig, render_saturation, run_sweep, write_sweep
+
+    techniques = tuple(args.technique or (DS_TECHNIQUES + DB_TECHNIQUES))
+    for name in techniques:
+        if name not in REGISTRY:
+            print(f"unknown technique {name!r}; try: python -m repro list",
+                  file=sys.stderr)
+            return 2
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    rates = tuple(float(r) for r in args.rates.split(","))
+    duration = args.duration
+    clients = args.clients
+    if args.smoke:
+        # CI-sized matrix: two techniques spanning both communities, one
+        # seed, two rates, short horizon — enough to exercise the full
+        # pipeline (fan-out, merge, saturation render) in seconds.
+        techniques = tuple(args.technique or ("active", "lazy_primary"))
+        seeds = (0,)
+        rates = (0.1, 0.4)
+        duration = 200.0
+        clients = 20_000
+    config = SweepConfig(
+        techniques=techniques,
+        seeds=seeds,
+        rates=rates,
+        process=args.process,
+        duration=duration,
+        clients=clients,
+        replicas=args.replicas,
+        admission_rate=args.admission_rate,
+        deadline_budget=args.deadline,
+    )
+    merged = run_sweep(config, jobs=args.jobs)
+    paths = write_sweep(merged, args.out)
+    print(render_saturation(merged["saturation"]))
+    cells = len(merged["rows"])
+    print(f"{cells} cells ({len(techniques)} techniques x {len(seeds)} seeds "
+          f"x {len(rates)} rates)")
+    for kind in sorted(paths):
+        print(f"{kind:5s} -> {paths[kind]}")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -313,11 +362,35 @@ def main(argv=None) -> int:
                     help="verify freshness instead of writing")
     sp.add_argument("--docs", default="docs",
                     help="directory holding the committed catalog")
+    sp = sub.add_parser("sweep", help="open-loop seed x rate x technique sweep")
+    sp.add_argument("--technique", action="append",
+                    help="technique name (repeatable; default: all ten)")
+    sp.add_argument("--seeds", default="0,1",
+                    help="comma-separated seed list")
+    sp.add_argument("--rates", default="0.05,0.1,0.2,0.4",
+                    help="comma-separated offered rates (arrivals/time unit)")
+    sp.add_argument("--process", default="poisson",
+                    choices=("poisson", "deterministic", "burst", "diurnal"))
+    sp.add_argument("--duration", type=float, default=600.0)
+    sp.add_argument("--clients", type=int, default=100_000,
+                    help="logical client population per cell")
+    sp.add_argument("--replicas", type=int, default=3)
+    sp.add_argument("--admission-rate", type=float, default=0.0,
+                    help="token-bucket admission rate (0 = no admission gate)")
+    sp.add_argument("--deadline", type=float, default=None,
+                    help="per-request deadline budget in time units")
+    sp.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: one per core)")
+    sp.add_argument("--out", default="benchmarks/output/sweep",
+                    help="directory receiving sweep.json + saturation.txt")
+    sp.add_argument("--smoke", action="store_true",
+                    help="CI-sized matrix (2 techniques, 1 seed, 2 rates)")
     args = parser.parse_args(argv)
     return {"list": cmd_list, "figures": cmd_figures,
             "compare": cmd_compare, "run": cmd_run,
             "observe": cmd_observe, "chaos": cmd_chaos,
-            "profile": cmd_profile, "phasecost": cmd_phasecost}[args.command](args)
+            "profile": cmd_profile, "phasecost": cmd_phasecost,
+            "sweep": cmd_sweep}[args.command](args)
 
 
 if __name__ == "__main__":

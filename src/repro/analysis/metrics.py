@@ -56,7 +56,17 @@ class LatencyStats:
 
 @dataclass(frozen=True)
 class WorkloadSummary:
-    """Everything a benchmark row needs about one run."""
+    """Everything a benchmark row needs about one run.
+
+    ``requests``/``aborted``/``latency`` describe *logical* requests (one
+    row per final client result).  The open-loop accounting rides next to
+    them: ``offered`` counts arrivals presented at the system edge,
+    ``shed`` the arrivals refused by admission control before reaching a
+    replica, and ``attempts`` every physical submission including
+    driver-level retries of aborted transactions — so ``retries`` and
+    :attr:`attempt_abort_rate` no longer under-report when a closed-loop
+    driver hides aborts by resubmitting.
+    """
 
     requests: int
     committed: int
@@ -64,15 +74,44 @@ class WorkloadSummary:
     latency: LatencyStats
     duration: float
     retries: int
+    offered: int = 0
+    shed: int = 0
+    attempts: int = 0
 
     @property
     def abort_rate(self) -> float:
+        """Aborts among *final* results (driver retries already folded)."""
         return self.aborted / self.requests if self.requests else 0.0
+
+    @property
+    def attempt_aborts(self) -> int:
+        """Aborted attempts, counting every resubmitted intermediate one."""
+        return self.aborted + max(0, self.attempts - self.requests)
+
+    @property
+    def attempt_abort_rate(self) -> float:
+        """Abort probability of a single submission (what the server saw)."""
+        return self.attempt_aborts / self.attempts if self.attempts else 0.0
 
     @property
     def throughput(self) -> float:
         """Committed requests per time unit."""
         return self.committed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Alias of :attr:`throughput` in the open-loop vocabulary."""
+        return self.throughput
+
+    @property
+    def offered_load(self) -> float:
+        """Arrivals per time unit presented at the system edge."""
+        return self.offered / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered arrivals refused by admission control."""
+        return self.shed / self.offered if self.offered else 0.0
 
     def row(self) -> Dict[str, Any]:
         return {
@@ -80,16 +119,36 @@ class WorkloadSummary:
             "committed": self.committed,
             "abort_rate": round(self.abort_rate, 4),
             "mean_latency": round(self.latency.mean, 3),
+            "p50_latency": round(self.latency.p50, 3),
             "p95_latency": round(self.latency.p95, 3),
             "p99_latency": round(self.latency.p99, 3),
             "throughput": round(self.throughput, 4),
             "retries": self.retries,
+            "offered": self.offered,
+            "shed": self.shed,
+            "shed_rate": round(self.shed_rate, 4),
+            "attempts": self.attempts,
+            "attempt_abort_rate": round(self.attempt_abort_rate, 4),
         }
 
 
-def summarize(results: Iterable[Result], duration: Optional[float] = None) -> WorkloadSummary:
-    """Aggregate a list of client results into a summary."""
+def summarize(
+    results: Iterable[Result],
+    duration: Optional[float] = None,
+    extra_attempts: Iterable[Result] = (),
+    offered: Optional[int] = None,
+    shed: int = 0,
+) -> WorkloadSummary:
+    """Aggregate a list of client results into a summary.
+
+    ``extra_attempts`` holds the intermediate aborted attempts a
+    closed-loop driver resubmitted (each one counts as a retry *and* an
+    attempt — previously they vanished from the summary entirely).
+    ``offered``/``shed`` carry the open-loop edge accounting; ``offered``
+    defaults to the number of results, the closed-loop identity.
+    """
     results = list(results)
+    extras = list(extra_attempts)
     committed = [r for r in results if r.committed]
     if duration is None:
         duration = (
@@ -102,7 +161,12 @@ def summarize(results: Iterable[Result], duration: Optional[float] = None) -> Wo
         aborted=len(results) - len(committed),
         latency=LatencyStats.of(r.latency for r in committed),
         duration=duration,
-        retries=sum(r.retries for r in results),
+        retries=sum(r.retries for r in results)
+        + sum(r.retries for r in extras)
+        + len(extras),
+        offered=len(results) if offered is None else offered,
+        shed=shed,
+        attempts=len(results) + len(extras),
     )
 
 

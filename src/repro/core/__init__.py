@@ -1,12 +1,15 @@
 """The paper's contribution: the five-phase functional model, the
 replication technique suite, and the derived classifications."""
 
+from .admission import AdmissionConfig, AdmissionController
 from .operations import Operation, Request, Result
 from .phases import AC, END, EX, RE, SC, PhaseDescriptor, PhaseStep, PhaseTracer
 from .protocols import DB_TECHNIQUES, DS_TECHNIQUES, REGISTRY
 from .system import ClientNode, Directory, ReplicaNode, ReplicatedSystem
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
     "Operation",
     "Request",
     "Result",

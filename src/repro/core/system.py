@@ -28,6 +28,7 @@ from ..groupcomm import ReliableTransport
 from ..net import ConstantLatency, LatencyModel, Message, Network, Node
 from ..obs import Observer
 from ..sim import Future, Simulator, TraceLog
+from .admission import AdmissionConfig, AdmissionController
 from .operations import Operation, Request, Result
 from .phases import PhaseTracer, RE
 from .protocols import REGISTRY
@@ -196,8 +197,18 @@ class ClientNode:
 
     # -- public API -----------------------------------------------------------
 
-    def submit(self, operations: Union[Operation, Iterable[Operation]]) -> Future:
-        """Submit a request; returns a future resolving to a Result."""
+    def submit(
+        self,
+        operations: Union[Operation, Iterable[Operation]],
+        deadline: Optional[float] = None,
+    ) -> Future:
+        """Submit a request; returns a future resolving to a Result.
+
+        ``deadline`` is an absolute simulated time after which the caller
+        no longer wants the answer; it rides the message envelope so
+        replicas can shed expired work, and the system's admission
+        controller (when configured) refuses arrivals already past it.
+        """
         if isinstance(operations, Operation):
             operations = [operations]
         request = Request.make(
@@ -210,11 +221,15 @@ class ClientNode:
             "submitted_at": self.system.sim.now,
             "retries": 0,
             "timer": None,
+            "deadline": deadline,
         }
         self._pending[request.request_id] = entry
         if self.system.observer is not None:
             self.system.observer.on_request_submit(request.request_id, self.name)
-        self._dispatch(entry)
+        if self.system.admission is not None:
+            self.system.admission.submit(self, entry)
+        else:
+            self._dispatch(entry)
         return future
 
     def session(self, server: Optional[str] = None) -> TransactionSession:
@@ -252,20 +267,42 @@ class ClientNode:
         request = entry["request"]
         targets = self._targets(entry)
         entry["last_targets"] = targets
+        deadline = entry.get("deadline")
         observer = self.system.observer
         if observer is not None:
             # Dispatch inside the root span's context so the outgoing
             # client.request flights become its children.
             with observer.request_context(request.request_id):
-                self._send_request(targets, request)
+                self._send_request(targets, request, deadline=deadline)
         else:
-            self._send_request(targets, request)
+            self._send_request(targets, request, deadline=deadline)
         if self.timeout is not None:
             entry["timer"] = self.node.after(self.timeout, self._on_timeout, request.request_id)
 
-    def _send_request(self, targets: List[str], request: Request) -> None:
+    def _send_request(self, targets: List[str], request: Request,
+                      deadline: Optional[float] = None) -> None:
         for target in targets:
-            self.node.send(target, CLIENT_REQUEST, request=request.as_wire())
+            if deadline is None:
+                self.node.send(target, CLIENT_REQUEST, request=request.as_wire())
+            else:
+                # Deadlines ride the envelope, not the payload, so replicas
+                # can shed expired work without parsing the request.
+                self.system.net.send(
+                    self.name,
+                    target,
+                    CLIENT_REQUEST,
+                    payload={"request": request.as_wire()},
+                    deadline=deadline,
+                )
+
+    def _shed(self, entry: dict, reason: str) -> None:
+        """Refuse an arrival at the admission edge; resolves its future."""
+        self._pending.pop(entry["request"].request_id, None)
+        if entry["timer"] is not None:
+            entry["timer"].cancel()
+        result = self._finish(entry, committed=False, values=[],
+                              reason=reason, server="")
+        entry["future"].set_result(result)
 
     def _on_timeout(self, request_id: str) -> None:
         entry = self._pending.get(request_id)
@@ -372,6 +409,11 @@ class ReplicatedSystem:
     trace_max_events:
         Optional ring-buffer bound on the structured trace log (oldest
         events are discarded past the bound); ``None`` keeps everything.
+    admission:
+        Optional :class:`~repro.core.admission.AdmissionConfig`: gate
+        every client submit through token-bucket throttling, a bounded
+        leveling queue and deadline shedding (see docs/workloads.md).
+        ``None`` (the default) leaves submits ungated.
     """
 
     def __init__(
@@ -390,6 +432,7 @@ class ReplicatedSystem:
         config: Optional[dict] = None,
         observe: bool = False,
         trace_max_events: Optional[int] = None,
+        admission: Optional[AdmissionConfig] = None,
     ) -> None:
         if protocol not in REGISTRY:
             raise ReplicationError(
@@ -422,6 +465,12 @@ class ReplicatedSystem:
         self.directory = Directory(self.replica_names)
         self.max_client_retries = max_client_retries
         self.config = dict(config or {})
+        # Admission control at the system edge (open-loop workloads): when
+        # absent, submits dispatch directly and nothing changes in the
+        # event schedule of existing closed-loop runs.
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(self, admission) if admission is not None else None
+        )
 
         self.replicas: Dict[str, ReplicaNode] = {}
         for name in self.replica_names:

@@ -76,6 +76,14 @@ DETERMINISTIC_PACKAGES = frozenset(
      "profiling"}
 )
 
+# Module-granular widening of the scope above, by full dotted name.  The
+# open-loop engine lives in the otherwise-exempt ``workload`` layer but
+# holds simulated state (arrival schedules, in-flight records) and feeds
+# the simulator's event queue, so it must obey the same rules as the
+# deterministic core.  The sweep runner next to it stays exempt: it
+# orchestrates OS processes around *finished* runs.
+DETERMINISTIC_MODULES = frozenset({"repro.workload.openloop"})
+
 # ``random.<fn>()`` calls share the interpreter-global Mersenne state; any
 # one of them desynchronises every seeded run.  Constructing a seeded
 # ``random.Random`` is the sanctioned alternative, so the class name is

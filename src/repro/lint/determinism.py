@@ -24,6 +24,7 @@ import ast
 from typing import Dict, Iterator, List, Optional, Set
 
 from .config import (
+    DETERMINISTIC_MODULES,
     DETERMINISTIC_PACKAGES,
     NONDETERMINISTIC_CALLS,
     ORDER_INSENSITIVE_CONSUMERS,
@@ -44,7 +45,10 @@ def _finding(ctx, node: ast.AST, message: str) -> Diagnostic:
 
 
 def _in_scope(ctx) -> bool:
-    return ctx.package in DETERMINISTIC_PACKAGES
+    return (
+        ctx.package in DETERMINISTIC_PACKAGES
+        or ctx.module in DETERMINISTIC_MODULES
+    )
 
 
 def _dotted(node: ast.AST) -> Optional[List[str]]:

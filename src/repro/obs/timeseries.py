@@ -73,6 +73,17 @@ class TimeSeries:
             for index in sorted(self.buckets)
         ]
 
+    def rates(self) -> List[Tuple[float, float]]:
+        """``(bucket_start_time, count / width)`` rows in time order.
+
+        The per-bucket observation rate in events per simulated time
+        unit — offered load and goodput curves read straight off this.
+        """
+        return [
+            (index * self.width, self.buckets[index][0] / self.width)
+            for index in sorted(self.buckets)
+        ]
+
     def totals(self) -> List[Tuple[float, float]]:
         """``(bucket_start_time, sum_of_values)`` rows in time order."""
         return [

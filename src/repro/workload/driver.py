@@ -8,6 +8,7 @@ and throughput directly comparable across techniques.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, List, Optional
 
 from ..analysis.metrics import WorkloadSummary, summarize
@@ -54,7 +55,16 @@ class ClosedLoopDriver:
         self.retry_aborts = retry_aborts
         self.max_retries = max_retries
         self.results: List[Result] = []
-        self.extra_attempts = 0
+        # Intermediate aborted attempts under ``retry_aborts``.  These used
+        # to be dropped on the floor — ``extra_attempts`` was a bare
+        # counter that never reached the summary, so ``retries`` and the
+        # per-attempt abort rate under-reported whenever retries happened.
+        self.attempts: List[Result] = []
+
+    @property
+    def extra_attempts(self) -> int:
+        """Number of resubmissions performed by the driver."""
+        return len(self.attempts)
 
     def run(self, settle: float = 0.0, max_events: int = 50_000_000) -> WorkloadSummary:
         """Run all clients to completion; returns the aggregate summary."""
@@ -68,12 +78,14 @@ class ClosedLoopDriver:
         duration = self.system.sim.now - start
         if settle > 0:
             self.system.settle(settle)
-        return summarize(self.results, duration=duration)
+        return summarize(self.results, duration=duration,
+                         extra_attempts=self.attempts)
 
     def _client_loop(self, index: int):
         client = self.system.clients[index]
         for _ in range(self.requests_per_client):
             operations = self.generator.next_transaction()
+            first_submitted = self.system.sim.now
             result = yield client.submit(operations)
             attempts = 0
             while (
@@ -82,10 +94,14 @@ class ClosedLoopDriver:
                 and attempts < self.max_retries
             ):
                 attempts += 1
-                self.extra_attempts += 1
+                self.attempts.append(result)
                 if self.think_time > 0:
                     yield self.system.sim.timeout(self.think_time)
                 result = yield client.submit(operations)
+            if attempts:
+                # The logical request started at the first submission, so
+                # its latency must span every attempt, not just the last.
+                result = replace(result, submitted_at=first_submitted)
             self.results.append(result)
             if self.think_time > 0:
                 yield self.system.sim.timeout(self.think_time)

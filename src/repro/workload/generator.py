@@ -43,6 +43,16 @@ class WorkloadSpec:
             raise ValueError("read_fraction must be in [0, 1]")
         if self.items < 1 or self.ops_per_transaction < 1:
             raise ValueError("items and ops_per_transaction must be >= 1")
+        # Skew knobs are probabilities/fractions: out-of-range values used
+        # to be accepted silently and produced inverted skew (hot set
+        # larger than the item space) or crashing weights downstream.
+        # ``not (x <= 1)`` style also rejects NaN, which passes ``x > 1``.
+        if not 0 <= self.hot_fraction <= 1:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if not 0 <= self.hot_access_probability <= 1:
+            raise ValueError("hot_access_probability must be in [0, 1]")
+        if not self.zipf_s >= 0:
+            raise ValueError("zipf_s must be >= 0")
 
 
 class WorkloadGenerator:
@@ -58,6 +68,13 @@ class WorkloadGenerator:
         self._unique_values = itertools.count(1)
         self.rng = rng if rng is not None else random.Random(seed)
         self._names = [f"{spec.item_prefix}{i}" for i in range(spec.items)]
+        # Half-up rounding, not ``int()`` truncation: ``0.29 * 100`` is
+        # 28.999... in binary floating point, and truncating it silently
+        # shrinks the hot set below the spec'd share (28 instead of 29).
+        if spec.hot_fraction > 0:
+            self.hot_set_size = max(1, int(spec.items * spec.hot_fraction + 0.5))
+        else:
+            self.hot_set_size = 0
         if spec.zipf_s > 0:
             weights = [1.0 / (rank ** spec.zipf_s) for rank in range(1, spec.items + 1)]
             total = sum(weights)
@@ -71,9 +88,8 @@ class WorkloadGenerator:
         spec = self.spec
         if self._weights is not None:
             return self.rng.choices(self._names, weights=self._weights, k=1)[0]
-        if spec.hot_fraction > 0 and self.rng.random() < spec.hot_access_probability:
-            hot_count = max(1, int(spec.items * spec.hot_fraction))
-            return self._names[self.rng.randrange(hot_count)]
+        if self.hot_set_size > 0 and self.rng.random() < spec.hot_access_probability:
+            return self._names[self.rng.randrange(self.hot_set_size)]
         return self._names[self.rng.randrange(spec.items)]
 
     # -- transaction drawing -------------------------------------------------
